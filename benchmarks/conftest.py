@@ -1,0 +1,28 @@
+"""Benchmark harness glue.
+
+Each benchmark executes one figure's experiment exactly once under
+pytest-benchmark (``pedantic`` with a single round: the experiment *is*
+the workload), prints the paper-versus-measured table, and saves it under
+``results/`` so EXPERIMENTS.md can be regenerated from the same rows.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+def run_experiment(benchmark, experiment, name: str):
+    """Run ``experiment`` once under the benchmark fixture; returns the
+    (table, results) pair and archives the table as text and JSON."""
+    outcome = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    table, results = outcome
+    table.show()
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(table.render() + "\n")
+    (RESULTS_DIR / f"{name}.json").write_text(
+        json.dumps(table.to_dict(), indent=1) + "\n")
+    return table, results

@@ -1,0 +1,27 @@
+"""Figures 2 and 3: a 1x sparse directory performs close to an
+unbounded directory -- the paper's baseline-justification experiment."""
+
+from repro.harness import experiments
+
+from benchmarks.conftest import run_experiment
+
+
+def test_fig02_unbounded_rate(benchmark):
+    table, results = run_experiment(benchmark,
+                                    experiments.fig2_unbounded_rate,
+                                    "fig02")
+    speedups = results["speedups"]
+    avg = sum(speedups) / len(speedups)
+    # Paper: average speedup under 1%; unbounded saves traffic/misses.
+    assert 0.97 < avg < 1.10
+    assert sum(results["misses"]) / len(results["misses"]) <= 1.0
+    assert sum(results["traffic"]) / len(results["traffic"]) <= 1.01
+
+
+def test_fig03_unbounded_multithreaded(benchmark):
+    table, results = run_experiment(
+        benchmark, experiments.fig3_unbounded_multithreaded, "fig03")
+    # Paper: 1x is adequate -- every suite average within a few percent.
+    for suite, speedups in results.items():
+        avg = sum(speedups) / len(speedups)
+        assert 0.95 < avg < 1.10, f"{suite} average {avg}"

@@ -1,0 +1,21 @@
+"""Figure 4: baseline performance declines gradually as the sparse
+directory shrinks -- the performance-criticality of DEVs."""
+
+from repro.harness import experiments
+
+from benchmarks.conftest import run_experiment
+
+
+def test_fig04_directory_sizes(benchmark):
+    table, results = run_experiment(benchmark,
+                                    experiments.fig4_directory_sizes,
+                                    "fig04")
+    for suite, (half, eighth, thirty_second) in results.items():
+        # Shape: monotonic (within noise) decline with directory size,
+        # and a clearly visible hit at 1/32x.
+        assert half <= 1.03
+        assert thirty_second <= eighth + 0.02, suite
+        assert eighth <= half + 0.02, suite
+        assert thirty_second < 0.97, (
+            f"{suite}: a 1/32x directory must hurt, got "
+            f"{thirty_second}")

@@ -1,0 +1,30 @@
+"""Figure 17: selection of the directory-entry caching policy.
+
+Paper: SpillAll is the worst; FPSS and FuseAll have similar averages but
+FPSS has clearly better minimum speedups (FuseAll lengthens the read
+critical path to shared blocks)."""
+
+from repro.harness.reporting import geomean
+from repro.harness import experiments
+
+from benchmarks.conftest import run_experiment
+
+
+def test_fig17_policy_selection(benchmark):
+    table, results = run_experiment(benchmark,
+                                    experiments.fig17_policy_selection,
+                                    "fig17")
+
+    def overall(label, reducer):
+        values = [v for suite in results[label].values()
+                  for v in suite.values()]
+        return reducer(values)
+
+    spill_avg = overall("SpillAll", geomean)
+    fpss_avg = overall("FPSS", geomean)
+    fuse_min = overall("FuseAll", min)
+    fpss_min = overall("FPSS", min)
+    # SpillAll is the worst policy on average.
+    assert spill_avg <= fpss_avg + 0.005
+    # FPSS beats FuseAll on worst-case (minimum) speedup.
+    assert fpss_min >= fuse_min - 0.01

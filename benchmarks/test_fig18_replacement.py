@@ -1,0 +1,22 @@
+"""Figure 18: spLRU versus dataLRU. Paper: dataLRU is higher performing
+across the board because spLRU leaves fused entries unprotected."""
+
+from repro.harness.reporting import geomean
+from repro.harness import experiments
+
+from benchmarks.conftest import run_experiment
+
+
+def test_fig18_replacement_selection(benchmark):
+    table, results = run_experiment(
+        benchmark, experiments.fig18_replacement_selection, "fig18")
+
+    def overall(label):
+        return geomean([v for suite in results[label].values()
+                        for v in suite.values()])
+
+    # dataLRU >= spLRU at both capacities (within noise).
+    assert overall("data-full") >= overall("sp-full") - 0.01
+    assert overall("data-half") >= overall("sp-half") - 0.01
+    # The capacity-constrained LLC magnifies any inefficiency.
+    assert overall("data-half") <= overall("data-full") + 0.02

@@ -1,0 +1,38 @@
+"""Figures 19-21: the headline result. ZeroDEV performs within 1-2% of
+the 1x baseline for 1x, 1/8x, and *no* sparse directory, with zero DEVs
+by construction, on every suite."""
+
+from repro.harness.reporting import geomean
+from repro.harness import experiments
+
+from benchmarks.conftest import run_experiment
+
+TOLERANCE = 0.05      # the paper's 1-2% plus simulator noise
+
+
+def check_invariance(results, suites):
+    for label in ("1x", "1/8x", "NoDir"):
+        for suite in suites:
+            avg = geomean(list(results[label][suite].values()))
+            assert avg > 1.0 - TOLERANCE, (
+                f"{suite} {label}: ZeroDEV lost {1 - avg:.1%}")
+
+
+def test_fig19_parsec(benchmark):
+    table, results = run_experiment(benchmark, experiments.fig19_parsec,
+                                    "fig19")
+    check_invariance(results, ["PARSEC"])
+
+
+def test_fig20_splash_omp_fftw(benchmark):
+    table, results = run_experiment(benchmark,
+                                    experiments.fig20_splash_omp_fftw,
+                                    "fig20")
+    check_invariance(results, ["SPLASH2X", "SPECOMP", "FFTW"])
+
+
+def test_fig21_cpu2017_rate(benchmark):
+    table, results = run_experiment(benchmark,
+                                    experiments.fig21_cpu2017_rate,
+                                    "fig21")
+    check_invariance(results, ["CPU2017"])

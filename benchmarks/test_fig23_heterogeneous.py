@@ -1,0 +1,16 @@
+"""Figure 23: heterogeneous multi-programmed mixes (W1..Wn)."""
+
+from repro.harness.reporting import geomean
+from repro.harness import experiments
+
+from benchmarks.conftest import run_experiment
+
+
+def test_fig23_heterogeneous(benchmark):
+    table, results = run_experiment(benchmark,
+                                    experiments.fig23_heterogeneous,
+                                    "fig23")
+    for label, values in results.items():
+        # Paper: at most 2% individual slowdown, within 1% on average.
+        assert geomean(values) > 0.96, label
+        assert min(values) > 0.93, label

@@ -1,0 +1,29 @@
+"""Figure 25: ZeroDEV on exclusive-private-data (EPD) and inclusive
+LLC designs."""
+
+from repro.harness.reporting import geomean
+from repro.harness import experiments
+
+from benchmarks.conftest import run_experiment
+
+
+def test_fig25_epd_inclusive(benchmark):
+    table, results = run_experiment(benchmark,
+                                    experiments.fig25_epd_inclusive,
+                                    "fig25")
+
+    def overall(label):
+        return geomean([v for suite, apps in results[label].items()
+                        for v in apps.values()])
+
+    # ZeroDEV with EPD + 1x directory tracks the EPD baseline (1-2%).
+    assert overall("ZDevEPD-1x") > overall("BaseEPD-1x") - 0.05
+    # ZeroDEV-NoDir on EPD beats the 1/8x-directory EPD baseline for
+    # several groups (it can cache entries in the LLC).
+    assert overall("ZDevEPD-NoDir") > overall("BaseEPD-1/8x") - 0.05
+    # Inclusive: ZeroDEV without a directory within 1-2% of inclusive
+    # baseline.
+    assert overall("ZDevIncl-NoDir") > overall("BaseIncl-1x") - 0.05
+    # Paper: 95% of forced invalidations eliminated in the inclusive
+    # design; the remainder comes from inclusion itself.
+    assert results["forced_eliminated"] > 0.5

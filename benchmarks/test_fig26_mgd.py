@@ -1,0 +1,31 @@
+"""Figure 26: comparison with the Multi-grain Directory.
+
+Paper: MgD at 1/8x tracks the baseline 1x, then degrades gradually at
+1/16x and 1/32x (yet remains far better than the baseline at identical
+sizes); ZeroDEV stays flat, so the gap widens as the directory shrinks."""
+
+from repro.harness.reporting import geomean
+from repro.harness import experiments
+
+from benchmarks.conftest import run_experiment
+
+
+def test_fig26_mgd(benchmark):
+    table, results = run_experiment(benchmark, experiments.fig26_mgd,
+                                    "fig26")
+
+    def overall(label):
+        return geomean([v for apps in results[label].values()
+                        for v in apps.values()])
+
+    mgd8, mgd16, mgd32 = (overall("MgD-1/8x"), overall("MgD-1/16x"),
+                          overall("MgD-1/32x"))
+    # Shape: monotonic decline with shrinking directory.
+    assert mgd32 <= mgd16 + 0.01
+    assert mgd16 <= mgd8 + 0.01
+    # MgD at 1/32x is still much better than the baseline at 1/32x.
+    assert mgd32 >= overall("Base-1/32x") - 0.01
+    # ZeroDEV stays flat: the gap to MgD widens with shrinking size.
+    zdev = overall("ZDev-NoDir")
+    assert zdev - mgd32 >= zdev - mgd8 - 0.01
+    assert zdev > 0.95

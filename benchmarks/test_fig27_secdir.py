@@ -1,0 +1,31 @@
+"""Figure 27: comparison with SecDir (iso-storage).
+
+Paper: SecDir loses performance as the directory shrinks (internal
+fragmentation of the private partitions drives large worst-case
+slowdowns at 1/8x), while ZeroDEV is insensitive to directory size."""
+
+from repro.harness.reporting import geomean
+from repro.harness import experiments
+
+from benchmarks.conftest import run_experiment
+
+
+def test_fig27_secdir(benchmark):
+    table, results = run_experiment(benchmark, experiments.fig27_secdir,
+                                    "fig27")
+
+    def overall(label, reducer=geomean):
+        return reducer([v for apps in results[label].values()
+                        for v in apps.values()])
+
+    # SecDir at 1x is competitive with the baseline.
+    assert overall("SecDir-1x") > 0.93
+    # SecDir at 1/8x degrades (like the baseline does).
+    assert overall("SecDir-1/8x") <= overall("SecDir-1x") + 0.01
+    # ZeroDEV is unaffected by the directory size.
+    assert abs(overall("ZDev-NoDir") - overall("ZDev-1x")) < 0.03
+    assert overall("ZDev-NoDir") > 0.95
+    # Worst case: SecDir's minimum speedup at 1/8x is clearly below
+    # ZeroDEV's.
+    assert overall("SecDir-1/8x", min) <= overall("ZDev-NoDir", min) \
+        + 0.02

@@ -1,0 +1,107 @@
+#!/usr/bin/env python
+"""Core-cache isolation demo: the directory side channel closes.
+
+Yan et al. (S&P'19) showed that directory conflicts leak a victim's
+access pattern: an attacker primes a sparse-directory set with its own
+blocks; when the victim touches a block mapping to the same set, a
+directory entry is evicted and the attacker's private copy is
+invalidated -- observable as extra latency on the attacker's next probe.
+SecDir narrows this channel; ZeroDEV closes it by never generating DEVs.
+
+This demo runs the prime+probe experiment many times for secret bits 0
+and 1 and reports the attacker's observation (number of probe misses) per
+protocol. Under the baseline the distributions are disjoint (perfect
+leak); under ZeroDEV they are identical (zero signal).
+
+Run:  python examples/side_channel_isolation.py
+"""
+
+from repro import (DirectoryConfig, LLCReplacement, Op, Protocol,
+                   build_system)
+from repro.common.addressing import BLOCK_SHIFT
+from repro.common.config import CacheGeometry, SystemConfig
+
+ATTACKER, VICTIM = 0, 1
+TRIALS = 40
+
+
+def small_socket(protocol: Protocol) -> SystemConfig:
+    """A 2-core socket with a deliberately small (1/8x) directory so one
+    set can be primed with a handful of blocks."""
+    directory = DirectoryConfig(
+        ratio=None if protocol is Protocol.ZERODEV else 0.125)
+    replacement = (LLCReplacement.DATA_LRU
+                   if protocol is Protocol.ZERODEV
+                   else LLCReplacement.LRU)
+    return SystemConfig(
+        n_cores=2,
+        l1i=CacheGeometry(512, 2), l1d=CacheGeometry(512, 2),
+        l2=CacheGeometry(4096, 4),            # 64 blocks
+        llc=CacheGeometry(16384, 4), llc_banks=2,
+        protocol=protocol, directory=directory,
+        llc_replacement=replacement)
+
+
+def prime_probe_trial(protocol: Protocol, secret: int, trial: int) -> int:
+    """One prime+probe round; returns the attacker's observation."""
+    system = build_system(small_socket(protocol))
+    config = system.config
+
+    # The monitored directory set (baseline 1/8x: 16 entries, 2 sets).
+    dir_sets = max(1, config.directory_entries // 8)
+    monitored_set = 0
+
+    def block_in_dir_set(tag: int, set_idx: int) -> int:
+        return set_idx + dir_sets * tag
+
+    # Spread the attacker's blocks over L2 sets (consecutive tags walk
+    # the L2 sets) so the whole prime set stays cached in its L2.
+    attacker_blocks = [block_in_dir_set(tag + 1, monitored_set)
+                       for tag in range(8)]
+
+    # Prime: the attacker fills the monitored directory set.
+    for block in attacker_blocks:
+        system.access(ATTACKER, Op.READ, block << BLOCK_SHIFT)
+
+    # Victim: accesses a block in the monitored set iff secret == 1.
+    victim_set = monitored_set if secret else (1 % dir_sets)
+    victim_block = block_in_dir_set(1000 + trial, victim_set)
+    system.access(VICTIM, Op.READ, victim_block << BLOCK_SHIFT)
+
+    # Probe: re-touch the primed blocks; count core-cache misses.
+    before = system.stats.core_cache_misses
+    for block in attacker_blocks:
+        system.access(ATTACKER, Op.READ, block << BLOCK_SHIFT)
+    return system.stats.core_cache_misses - before
+
+
+def channel_report(protocol: Protocol) -> None:
+    observations = {0: [], 1: []}
+    for secret in (0, 1):
+        for trial in range(TRIALS):
+            observations[secret].append(
+                prime_probe_trial(protocol, secret, trial))
+    mean0 = sum(observations[0]) / TRIALS
+    mean1 = sum(observations[1]) / TRIALS
+    overlap = len(set(observations[0]) & set(observations[1]))
+    print(f"{protocol.value:>10}: probe misses with secret=0: "
+          f"{mean0:.2f}, secret=1: {mean1:.2f}  "
+          f"({'DISTINGUISHABLE - channel open' if mean1 > mean0 else 'identical - channel closed'})")
+    return mean0, mean1, overlap
+
+
+def main() -> None:
+    print(__doc__.splitlines()[0])
+    print()
+    base = channel_report(Protocol.BASELINE)
+    zdev = channel_report(Protocol.ZERODEV)
+    assert base[1] > base[0], "baseline should leak via DEVs"
+    assert zdev[0] == zdev[1], "ZeroDEV must show zero signal"
+    print()
+    print("ZeroDEV isolates the attacker's core cache from the victim's "
+          "directory pressure: the prime+probe observation carries no "
+          "information.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""ZeroDEV reproduction: unbounded coherence directory, zero DEVs.
+
+Reproduction of M. Chaudhuri, "Zero Directory Eviction Victim: Unbounded
+Coherence Directory and Core Cache Isolation", HPCA 2021.
+
+Quickstart::
+
+    from repro import scaled_socket, build_system, run_workload
+    from repro.common.config import Protocol, DirectoryConfig, LLCReplacement
+    from repro.workloads import suite_profiles, make_multithreaded
+
+    config = scaled_socket()                       # Table I socket, scaled
+    app = suite_profiles("PARSEC")[0]
+    workload = make_multithreaded(app, config, accesses_per_core=20_000)
+
+    base = build_system(config)
+    run_workload(base, workload)
+
+    zdev = build_system(config.with_(
+        protocol=Protocol.ZERODEV,
+        directory=DirectoryConfig(ratio=None),     # no directory at all
+        llc_replacement=LLCReplacement.DATA_LRU))
+    run_workload(zdev, workload)
+    assert zdev.stats.dev_invalidations == 0       # the paper's guarantee
+"""
+
+from repro.common.config import (
+    CacheGeometry,
+    DirCachingPolicy,
+    DirectoryConfig,
+    LLCDesign,
+    LLCReplacement,
+    Protocol,
+    SystemConfig,
+    scaled_socket,
+    table1_socket,
+)
+from repro.harness.runner import RunResult, run_workload
+from repro.harness.system_builder import build_system
+from repro.workloads.trace import Op, Workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CacheGeometry",
+    "DirCachingPolicy",
+    "DirectoryConfig",
+    "LLCDesign",
+    "LLCReplacement",
+    "Op",
+    "Protocol",
+    "RunResult",
+    "SystemConfig",
+    "Workload",
+    "build_system",
+    "run_workload",
+    "scaled_socket",
+    "table1_socket",
+    "__version__",
+]

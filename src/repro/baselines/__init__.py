@@ -1,0 +1,8 @@
+"""Comparison systems: SecDir (ISCA'19) and Multi-grain Directory
+(MICRO'13). The unbounded-directory reference is a configuration of the
+baseline (``DirectoryConfig(unbounded=True)``), not a separate class."""
+
+from repro.baselines.secdir import SecDirSystem
+from repro.baselines.mgd import MgDSystem
+
+__all__ = ["MgDSystem", "SecDirSystem"]

@@ -1,0 +1,215 @@
+"""One LLC bank, including ZeroDEV's spilled/fused directory-entry frames.
+
+An LLC set may simultaneously hold a data block B (``V=1``) and B's spilled
+directory entry (``V=0, D=1, b0=1``) under the same tag -- the "two tag
+matches" case of Section III-C. Fused entries occupy no extra frame: the
+block's own frame is re-marked ``V=0, D=1, b0=0`` and the entry rides in
+its low-order bits.
+
+The bank implements the three replacement policies of the study:
+
+* ``LRU``     -- baseline true LRU.
+* ``spLRU``   -- on a data access, the block is touched first and its
+  spilled entry is then moved to MRU, so the block always ages out first.
+* ``dataLRU`` -- the LRU *ordinary* (``V=1``) block is evicted before any
+  spilled or fused entry in the set.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.caches.block import LLCLine, LineKind
+from repro.coherence.entry import DirectoryEntry, EntryLocation
+from repro.common.config import LLCReplacement
+from repro.common.errors import ProtocolInvariantError, SimulationError
+
+
+class LLCBank:
+    """Set-associative LLC bank with entry-aware replacement."""
+
+    def __init__(self, bank_id: int, sets: int, ways: int,
+                 replacement: LLCReplacement, n_banks: int) -> None:
+        self.bank_id = bank_id
+        self.sets = sets
+        self.ways = ways
+        self.replacement = replacement
+        self._bank_bits = n_banks.bit_length() - 1
+        self._frames: List[List[LLCLine]] = [[] for _ in range(sets)]
+        self._data_index: Dict[int, LLCLine] = {}   # DATA or FUSED frames
+        self._spill_index: Dict[int, LLCLine] = {}  # SPILLED frames
+
+    # ------------------------------------------------------------------
+    def set_of(self, block: int) -> int:
+        return (block >> self._bank_bits) & (self.sets - 1)
+
+    def _index_for(self, line: LLCLine) -> Dict[int, LLCLine]:
+        if line.kind is LineKind.SPILLED:
+            return self._spill_index
+        return self._data_index
+
+    # ------------------------------------------------------------------
+    # Lookup / recency
+    # ------------------------------------------------------------------
+    def lookup_data(self, block: int, touch: bool = True
+                    ) -> Optional[LLCLine]:
+        """The DATA or FUSED frame of ``block``, with policy-aware touch."""
+        line = self._data_index.get(block)
+        if line is not None and touch:
+            self._touch(line)
+            if self.replacement is LLCReplacement.SP_LRU:
+                spill = self._spill_index.get(block)
+                if spill is not None:
+                    self._touch(spill)  # entry ends above its block
+        return line
+
+    def lookup_spill(self, block: int, touch: bool = True
+                     ) -> Optional[LLCLine]:
+        line = self._spill_index.get(block)
+        if line is not None and touch:
+            self._touch(line)
+        return line
+
+    def _touch(self, line: LLCLine) -> None:
+        frames = self._frames[self.set_of(line.block)]
+        frames.remove(line)
+        frames.append(line)
+
+    def peek_data(self, block: int) -> Optional[LLCLine]:
+        """The DATA/FUSED frame of ``block`` without touching recency."""
+        return self._data_index.get(block)
+
+    def peek_spill(self, block: int) -> Optional[LLCLine]:
+        """The SPILLED frame of ``block`` without touching recency."""
+        return self._spill_index.get(block)
+
+    # ------------------------------------------------------------------
+    # Insertion / eviction
+    # ------------------------------------------------------------------
+    def set_full(self, set_idx: int) -> bool:
+        return len(self._frames[set_idx]) >= self.ways
+
+    def choose_victim(self, set_idx: int,
+                      protect_block: Optional[int] = None) -> LLCLine:
+        """Pick the replacement victim of ``set_idx`` per the policy.
+
+        ``protect_block`` shields every frame of that block (the block a
+        transaction is currently working on, held busy in hardware):
+        evicting a block's own spilled entry while installing the block
+        would recreate the case-(iiib) hazard of Section III-D2, and
+        evicting the block itself while spilling its entry would, in an
+        inclusive LLC, invalidate the very copies the entry tracks.
+        """
+        frames = self._frames[set_idx]
+        if not frames:
+            raise SimulationError(f"victim requested from empty set "
+                                  f"{set_idx} of bank {self.bank_id}")
+
+        def protected(line: LLCLine) -> bool:
+            return (protect_block is not None
+                    and line.block == protect_block)
+
+        if self.replacement is LLCReplacement.DATA_LRU:
+            for line in frames:                 # LRU-to-MRU order
+                if line.kind is LineKind.DATA and not protected(line):
+                    return line
+        for line in frames:
+            if not protected(line):
+                return line
+        return frames[0]
+
+    def insert(self, line: LLCLine,
+               protect_block: Optional[int] = None) -> Optional[LLCLine]:
+        """Insert ``line`` at MRU; returns the policy victim if one was
+        displaced. The caller handles the victim (writeback / WB_DE).
+
+        The inserted line's own block is always protected from victim
+        selection (its other frame may be in the same set)."""
+        index = self._index_for(line)
+        if line.block in index:
+            raise SimulationError(
+                f"bank {self.bank_id}: duplicate {line.kind.value} frame "
+                f"for block {line.block:#x}")
+        set_idx = self.set_of(line.block)
+        victim: Optional[LLCLine] = None
+        if self.set_full(set_idx):
+            victim = self.choose_victim(
+                set_idx, protect_block if protect_block is not None
+                else line.block)
+            self.remove(victim)
+        self._frames[set_idx].append(line)
+        index[line.block] = line
+        return victim
+
+    def remove(self, line: LLCLine) -> None:
+        self._frames[self.set_of(line.block)].remove(line)
+        del self._index_for(line)[line.block]
+
+    # ------------------------------------------------------------------
+    # ZeroDEV entry management on existing frames
+    # ------------------------------------------------------------------
+    def fuse(self, block: int, entry: DirectoryEntry) -> bool:
+        """Fuse ``entry`` into the resident data frame of its block.
+
+        Returns False when the block is not in this bank (the caller then
+        spills instead). Fusing costs no extra frame; the frame becomes
+        (V=0, D=1, b0=0) with the block's dirtiness preserved in b1.
+        """
+        line = self._data_index.get(block)
+        if line is None or line.kind is not LineKind.DATA:
+            return False
+        line.kind = LineKind.FUSED
+        line.entry = entry
+        entry.location = EntryLocation.LLC_FUSED
+        return True
+
+    def unfuse(self, block: int) -> DirectoryEntry:
+        """Detach the fused entry, restoring the frame to an ordinary
+        block (the reconstruction step of Section III-C2)."""
+        line = self._data_index.get(block)
+        if line is None or line.kind is not LineKind.FUSED:
+            raise ProtocolInvariantError(
+                f"no fused entry for block {block:#x} in bank "
+                f"{self.bank_id}")
+        entry = line.entry
+        assert entry is not None
+        line.kind = LineKind.DATA
+        line.entry = None
+        return entry
+
+    def free_spill(self, block: int) -> DirectoryEntry:
+        """Free the spilled-entry frame of ``block`` (entry freed/moved)."""
+        line = self._spill_index.get(block)
+        if line is None:
+            raise ProtocolInvariantError(
+                f"no spilled entry for block {block:#x} in bank "
+                f"{self.bank_id}")
+        self.remove(line)
+        entry = line.entry
+        assert entry is not None
+        return entry
+
+    # ------------------------------------------------------------------
+    # Introspection (occupancy probes, invariant checks, tests)
+    # ------------------------------------------------------------------
+    def frames_in_set(self, set_idx: int) -> List[LLCLine]:
+        return self._frames[set_idx]
+
+    def all_frames(self):
+        for frames in self._frames:
+            yield from frames
+
+    def entry_frame_count(self) -> int:
+        """Number of frames consumed by spilled entries (LLC pressure)."""
+        return len(self._spill_index) and sum(
+            1 for line in self._spill_index.values())
+
+    def spilled_count(self) -> int:
+        return len(self._spill_index)
+
+    def fused_count(self) -> int:
+        return sum(1 for line in self._data_index.values()
+                   if line.kind is LineKind.FUSED)
+
+    def data_block_count(self) -> int:
+        return len(self._data_index)

@@ -1,0 +1,83 @@
+"""Generic set-associative cache with true-LRU replacement.
+
+Used for the private L1 and L2 arrays. Lines are arbitrary objects with a
+``block`` attribute; the cache maintains per-set LRU order (index 0 is LRU,
+the last index is MRU) plus a block-indexed dictionary for O(1) lookup.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generic, List, Optional, TypeVar
+
+from repro.common.addressing import set_index
+from repro.common.config import CacheGeometry
+from repro.common.errors import SimulationError
+
+LineT = TypeVar("LineT")
+
+
+class SetAssocCache(Generic[LineT]):
+    """A set-associative array of ``geometry.sets`` x ``geometry.ways``."""
+
+    def __init__(self, geometry: CacheGeometry) -> None:
+        self.geometry = geometry
+        self._sets: List[List[LineT]] = [[] for _ in range(geometry.sets)]
+        self._index: Dict[int, LineT] = {}
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def __contains__(self, block: int) -> bool:
+        return block in self._index
+
+    # ------------------------------------------------------------------
+    def set_of(self, block: int) -> int:
+        return set_index(block, self.geometry.sets)
+
+    def lookup(self, block: int, touch: bool = True) -> Optional[LineT]:
+        """Return the line holding ``block``, updating LRU order on hit."""
+        line = self._index.get(block)
+        if line is not None and touch:
+            lru_set = self._sets[self.set_of(block)]
+            lru_set.remove(line)
+            lru_set.append(line)
+        return line
+
+    def peek(self, block: int) -> Optional[LineT]:
+        """Lookup without disturbing LRU order."""
+        return self._index.get(block)
+
+    # ------------------------------------------------------------------
+    def insert(self, line: LineT) -> Optional[LineT]:
+        """Insert ``line`` at MRU; returns the evicted LRU victim, if any.
+
+        The caller is responsible for any writeback/notification the victim
+        requires -- this class is pure structure.
+        """
+        block = line.block  # type: ignore[attr-defined]
+        if block in self._index:
+            raise SimulationError(f"block {block:#x} already cached")
+        lru_set = self._sets[self.set_of(block)]
+        victim: Optional[LineT] = None
+        if len(lru_set) >= self.geometry.ways:
+            victim = lru_set.pop(0)
+            del self._index[victim.block]  # type: ignore[attr-defined]
+        lru_set.append(line)
+        self._index[block] = line
+        return victim
+
+    def remove(self, block: int) -> Optional[LineT]:
+        """Remove and return the line holding ``block`` (None if absent)."""
+        line = self._index.pop(block, None)
+        if line is not None:
+            self._sets[self.set_of(block)].remove(line)
+        return line
+
+    # ------------------------------------------------------------------
+    def lines(self):
+        """Iterate over all resident lines (unordered)."""
+        return self._index.values()
+
+    def set_lines(self, index: int) -> List[LineT]:
+        """The lines of set ``index`` in LRU-to-MRU order (read-only use)."""
+        return self._sets[index]

@@ -1,0 +1,252 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list``
+    Show the available figure experiments and workload suites.
+``run FIGURE``
+    Run one figure experiment (e.g. ``fig19``, ``energy``) and print its
+    paper-versus-measured table plus a bar chart of the headline series.
+``demo``
+    The quickstart comparison: baseline 1x versus ZeroDEV with no
+    directory on one workload.
+``trace APP PATH``
+    Generate a workload for a named application and save it as ``.npz``.
+``simulate PATH``
+    Run a saved trace bundle under a chosen protocol and print stats.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from repro.common.config import (DirCachingPolicy, DirectoryConfig,
+                                 LLCReplacement, Protocol, scaled_socket)
+from repro.harness import experiments
+from repro.harness.reporting import ascii_bars
+from repro.harness.runner import run_workload
+from repro.harness.system_builder import build_system
+from repro.workloads.suites import SUITES, find_profile
+from repro.workloads.trace import Workload
+
+EXPERIMENTS = {
+    "fig2": experiments.fig2_unbounded_rate,
+    "fig3": experiments.fig3_unbounded_multithreaded,
+    "fig4": experiments.fig4_directory_sizes,
+    "fig5": experiments.fig5_llc_occupancy,
+    "fig6": experiments.fig6_llc_ways,
+    "fig17": experiments.fig17_policy_selection,
+    "fig18": experiments.fig18_replacement_selection,
+    "fig19": experiments.fig19_parsec,
+    "fig20": experiments.fig20_splash_omp_fftw,
+    "fig21": experiments.fig21_cpu2017_rate,
+    "fig22": experiments.fig22_llc_capacity,
+    "fig23": experiments.fig23_heterogeneous,
+    "fig24": experiments.fig24_server,
+    "fig25": experiments.fig25_epd_inclusive,
+    "fig26": experiments.fig26_mgd,
+    "fig27": experiments.fig27_secdir,
+    "energy": experiments.energy_comparison,
+    "multisocket": experiments.multisocket_comparison,
+}
+
+
+def _command_list(_args) -> int:
+    print("experiments:")
+    for name, fn in EXPERIMENTS.items():
+        lines = (fn.__doc__ or "").strip().splitlines()
+        print(f"  {name:<12} {lines[0] if lines else ''}")
+    print("\nsuites:")
+    for suite, profiles in SUITES.items():
+        names = ", ".join(p.name for p in profiles)
+        print(f"  {suite:<10} {names}")
+    return 0
+
+
+def _command_run(args) -> int:
+    if args.accesses:
+        os.environ["REPRO_ACCESSES"] = str(args.accesses)
+    if args.full:
+        os.environ["REPRO_FULL"] = "1"
+    experiment = EXPERIMENTS[args.figure]
+    table, _results = experiment()
+    table.show()
+    chart_rows = [r for r in table.rows if 0.0 < r.measured < 4.0]
+    if len(chart_rows) >= 2:
+        print()
+        print(ascii_bars([r.measured for r in chart_rows],
+                         [r.label for r in chart_rows]))
+    return 0
+
+
+def _command_demo(args) -> int:
+    config = scaled_socket()
+    profile = find_profile(args.app)
+    from repro.workloads.suites import make_multithreaded
+    workload = make_multithreaded(profile, config, args.accesses, seed=5)
+
+    baseline = build_system(config)
+    run_workload(baseline, workload)
+    zerodev = build_system(config.with_(
+        protocol=Protocol.ZERODEV, directory=DirectoryConfig(ratio=None),
+        llc_replacement=LLCReplacement.DATA_LRU))
+    run_workload(zerodev, workload)
+    base, zdev = baseline.stats, zerodev.stats
+    print(f"{args.app}: baseline {base.total_cycles:,} cycles, "
+          f"{base.dev_invalidations:,} DEVs; "
+          f"ZeroDEV-NoDir {zdev.total_cycles:,} cycles, "
+          f"{zdev.dev_invalidations} DEVs "
+          f"(speedup {base.total_cycles / zdev.total_cycles:.3f})")
+    return 0
+
+
+def _command_verify(args) -> int:
+    """Bounded-exhaustive protocol verification (see PROTOCOL.md §6)."""
+    from repro.coherence.exhaustive import ExhaustiveExplorer
+    from repro.common.config import CacheGeometry, SystemConfig
+
+    def micro() -> SystemConfig:
+        base = SystemConfig(
+            n_cores=2,
+            l1i=CacheGeometry(256, 2), l1d=CacheGeometry(256, 2),
+            l2=CacheGeometry(512, 2), llc=CacheGeometry(1024, 2),
+            llc_banks=2, directory=DirectoryConfig(ratio=0.5))
+        if args.protocol == "zerodev":
+            return base.with_(
+                protocol=Protocol.ZERODEV,
+                directory=DirectoryConfig(ratio=None),
+                llc_replacement=LLCReplacement.DATA_LRU)
+        return base.with_(protocol=Protocol(args.protocol))
+
+    explorer = ExhaustiveExplorer(micro, cores=(0, 1), blocks=(0, 8, 1))
+    report = explorer.explore(depth=args.depth)
+    print(f"{args.protocol}: explored {report.sequences_explored:,} "
+          f"sequences at depth {args.depth}, checked "
+          f"{report.states_checked:,} states")
+    if report.ok:
+        print("all invariants hold")
+        return 0
+    print(f"COUNTEREXAMPLE: {report.counterexample}")
+    return 1
+
+
+def _command_report(_args) -> int:
+    """Rebuild EXPERIMENTS.md from the archived benchmark tables."""
+    import runpy
+    from pathlib import Path
+    script = (Path(__file__).resolve().parent.parent.parent / "scripts"
+              / "build_experiments_md.py")
+    module = runpy.run_path(str(script))
+    return module["main"]()
+
+
+def _command_trace(args) -> int:
+    from repro.workloads.suites import (make_multithreaded,
+                                        make_rate_workload)
+    config = scaled_socket()
+    profile = find_profile(args.app)
+    maker = make_rate_workload if args.rate else make_multithreaded
+    workload = maker(profile, config, args.accesses, seed=args.seed)
+    workload.save(args.path)
+    print(f"wrote {workload!r} to {args.path}")
+    return 0
+
+
+def _command_simulate(args) -> int:
+    workload = Workload.load(args.path)
+    config = scaled_socket(n_cores=max(8, workload.n_cores))
+    protocol = Protocol(args.protocol)
+    if protocol is Protocol.ZERODEV:
+        config = config.with_(
+            protocol=protocol,
+            directory=DirectoryConfig(
+                ratio=args.ratio if args.ratio > 0 else None),
+            llc_replacement=LLCReplacement.DATA_LRU,
+            dir_caching=DirCachingPolicy(args.policy))
+    else:
+        config = config.with_(
+            protocol=protocol,
+            directory=DirectoryConfig(ratio=args.ratio or 1.0))
+    system = build_system(config)
+    run_workload(system, workload)
+    stats = system.stats
+    print(f"{workload!r} under {protocol.value}:")
+    for field in ("total_cycles", "core_cache_misses",
+                  "dev_invalidations", "traffic_bytes", "dram_reads",
+                  "dram_writes", "entries_fused", "entries_spilled",
+                  "wb_de_messages"):
+        value = getattr(stats, field, None)
+        if value is None:
+            value = getattr(stats, field)
+        print(f"  {field:<20} {stats.as_dict().get(field, value):,}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ZeroDEV (HPCA 2021) reproduction toolkit")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list", help="list experiments and suites")
+
+    run = commands.add_parser("run", help="run a figure experiment")
+    run.add_argument("figure", choices=sorted(EXPERIMENTS))
+    run.add_argument("--accesses", type=int, default=0,
+                     help="accesses per core (default: REPRO_ACCESSES)")
+    run.add_argument("--full", action="store_true",
+                     help="run every application, not the subset")
+
+    demo = commands.add_parser("demo", help="baseline vs ZeroDEV demo")
+    demo.add_argument("--app", default="freqmine")
+    demo.add_argument("--accesses", type=int, default=10_000)
+
+    verify = commands.add_parser(
+        "verify", help="bounded-exhaustive protocol verification")
+    verify.add_argument("--protocol", default="zerodev",
+                        choices=[p.value for p in Protocol])
+    verify.add_argument("--depth", type=int, default=3)
+
+    commands.add_parser(
+        "report", help="rebuild EXPERIMENTS.md from archived results")
+
+    trace = commands.add_parser("trace", help="generate a trace bundle")
+    trace.add_argument("app")
+    trace.add_argument("path")
+    trace.add_argument("--accesses", type=int, default=10_000)
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument("--rate", action="store_true",
+                       help="rate (multi-programmed) instead of "
+                            "multi-threaded")
+
+    simulate = commands.add_parser("simulate",
+                                   help="run a saved trace bundle")
+    simulate.add_argument("path")
+    simulate.add_argument("--protocol", default="zerodev",
+                          choices=[p.value for p in Protocol])
+    simulate.add_argument("--ratio", type=float, default=0.0,
+                          help="directory ratio R (0 = no directory for "
+                               "ZeroDEV, 1.0 for others)")
+    simulate.add_argument("--policy", default="fuse-private-spill-shared",
+                          choices=[p.value for p in DirCachingPolicy])
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = {
+        "list": _command_list,
+        "run": _command_run,
+        "demo": _command_demo,
+        "verify": _command_verify,
+        "report": _command_report,
+        "trace": _command_trace,
+        "simulate": _command_simulate,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

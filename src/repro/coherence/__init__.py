@@ -1,0 +1,15 @@
+"""Baseline intra-socket coherence: MESI protocol + sparse directory."""
+
+from repro.coherence.directory import SparseDirectory
+from repro.coherence.entry import DirectoryEntry, DirState, EntryLocation
+from repro.coherence.protocol import CMPSystem
+from repro.coherence.shadow import ShadowMemory
+
+__all__ = [
+    "CMPSystem",
+    "DirState",
+    "DirectoryEntry",
+    "EntryLocation",
+    "ShadowMemory",
+    "SparseDirectory",
+]

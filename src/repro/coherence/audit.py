@@ -1,0 +1,120 @@
+"""Protocol audit log: a bounded event trace for debugging.
+
+Attach an :class:`AuditLog` to any system and every coherence-visible
+event (accesses, fills, invalidations, entry movements, memory housing)
+is appended to a bounded ring buffer. When an invariant trips, the last
+N events explain how the state was reached -- the tool that found most of
+the protocol bugs during this reproduction's development.
+
+The log hooks the public seams of :class:`CMPSystem` (method wrapping,
+no protocol-code changes), so it can be attached to baseline, ZeroDEV,
+SecDir, and MgD systems alike and removed without trace.
+"""
+
+from __future__ import annotations
+
+import collections
+from dataclasses import dataclass
+from typing import Callable, Deque, List, Optional
+
+from repro.coherence.protocol import CMPSystem
+from repro.workloads.trace import Op
+
+
+@dataclass(frozen=True)
+class AuditEvent:
+    """One recorded protocol event."""
+
+    step: int
+    kind: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"#{self.step:<6} {self.kind:<14} {self.detail}"
+
+
+class AuditLog:
+    """Bounded ring buffer of protocol events for one system."""
+
+    #: (attribute, event kind, detail formatter) for each hooked seam.
+    HOOKS = (
+        ("_process_dev", "DEV",
+         lambda args, kwargs: f"entry block={args[0].block:#x} "
+                              f"sharers={args[0].sharers:#b}"),
+        ("_free_entry", "entry-free",
+         lambda args, kwargs: f"block={args[0].block:#x} "
+                              f"loc={args[0].location.value}"),
+        ("_handle_llc_victim", "llc-evict",
+         lambda args, kwargs: f"block={args[1].block:#x} "
+                              f"kind={args[1].kind.value} "
+                              f"dirty={args[1].dirty}"),
+        ("_process_notice", "notice",
+         lambda args, kwargs: f"core={args[0].core} "
+                              f"block={args[0].block:#x} "
+                              f"state={args[0].state.value}"),
+        ("_allocate_entry", "entry-alloc",
+         lambda args, kwargs: f"block={args[0]:#x} state={args[1].value} "
+                              f"core={args[2]}"),
+    )
+
+    def __init__(self, system: CMPSystem, capacity: int = 256) -> None:
+        self.system = system
+        self.events: Deque[AuditEvent] = collections.deque(
+            maxlen=capacity)
+        self._step = 0
+        self._originals = {}
+        self._install()
+
+    # ------------------------------------------------------------------
+    def _install(self) -> None:
+        self._originals["access"] = self.system.access
+
+        def traced_access(core: int, op: Op, address: int,
+                          _orig=self.system.access) -> int:
+            self._step += 1
+            self.record("access",
+                        f"core={core} {op.name} addr={address:#x}")
+            return _orig(core, op, address)
+
+        self.system.access = traced_access   # type: ignore[method-assign]
+        for name, kind, formatter in self.HOOKS:
+            original = getattr(self.system, name, None)
+            if original is None:
+                continue
+            self._originals[name] = original
+
+            def hooked(*args, _orig=original, _kind=kind,
+                       _fmt=formatter, **kwargs):
+                try:
+                    detail = _fmt(args, kwargs)
+                except Exception:            # noqa: BLE001 - formatting
+                    detail = "<unformattable>"
+                self.record(_kind, detail)
+                return _orig(*args, **kwargs)
+
+            setattr(self.system, name, hooked)
+
+    def detach(self) -> None:
+        """Restore the system's original methods."""
+        for name, original in self._originals.items():
+            setattr(self.system, name, original)
+        self._originals.clear()
+
+    # ------------------------------------------------------------------
+    def record(self, kind: str, detail: str) -> None:
+        self.events.append(AuditEvent(self._step, kind, detail))
+
+    def tail(self, count: int = 20) -> List[AuditEvent]:
+        return list(self.events)[-count:]
+
+    def of_kind(self, kind: str) -> List[AuditEvent]:
+        return [event for event in self.events if event.kind == kind]
+
+    def render(self, count: int = 20) -> str:
+        return "\n".join(str(event) for event in self.tail(count))
+
+    def __enter__(self) -> "AuditLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.detach()

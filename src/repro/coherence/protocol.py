@@ -1,0 +1,741 @@
+"""The baseline intra-socket coherence protocol (Section III-A).
+
+One :class:`CMPSystem` models a socket: per-core private L1/L2 caches, a
+banked shared LLC, a sparse directory slice beside each bank, a write-
+invalidate MESI protocol with three-hop owner forwarding, eviction notices
+for every private eviction, and -- the phenomenon this paper is about --
+**directory eviction victims** (DEVs): private copies invalidated because
+their sparse-directory entry was evicted.
+
+Coherence transactions execute atomically in global order (see DESIGN.md
+Section 2): the message sequences and their latency/traffic costs follow
+the paper's protocol, while transient-race interleavings are serialized.
+Data correctness is continuously verified against a shadow memory.
+
+Subclasses (ZeroDEV in ``repro.core``, SecDir/MgD in ``repro.baselines``)
+specialize the protected hook methods: entry lookup/allocation/free, LLC
+victim handling, and the shared-read critical path.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.caches.block import LLCLine, LineKind, MESI
+from repro.caches.llc import LLCBank
+from repro.caches.private_cache import EvictionNotice, PrivateHierarchy
+from repro.coherence.directory import SparseDirectory
+from repro.coherence.entry import DirectoryEntry, DirState, EntryLocation
+from repro.coherence.shadow import ShadowMemory
+from repro.common.addressing import BLOCK_SHIFT
+from repro.common.config import LLCDesign, Protocol, SystemConfig
+from repro.common.errors import ProtocolInvariantError
+from repro.common.messages import MessageType as MT
+from repro.common.stats import SystemStats
+from repro.dram.model import DramModel
+from repro.interconnect.mesh import Mesh
+from repro.workloads.trace import Op
+
+
+class CMPSystem:
+    """One socket running the baseline sparse-directory MESI protocol."""
+
+    #: Which Protocol enum value this class implements (sanity check).
+    PROTOCOL = Protocol.BASELINE
+
+    def __init__(self, config: SystemConfig) -> None:
+        self.config = config
+        self.stats = SystemStats(config.n_cores)
+        self.shadow = ShadowMemory()
+        self.mesh = Mesh(config.mesh, config.n_cores, config.llc_banks,
+                         config.latency, self.stats)
+        self.dram = DramModel(config.dram, self.stats)
+        self.cores = [
+            PrivateHierarchy(i, config.l1i, config.l1d, config.l2)
+            for i in range(config.n_cores)
+        ]
+        self.banks = [
+            LLCBank(b, config.llc_bank_sets, config.llc.ways,
+                    config.llc_replacement, config.llc_banks)
+            for b in range(config.llc_banks)
+        ]
+        self.directory = self._build_directory()
+        self._dram_version = {}
+        self._bank_mask = config.llc_banks - 1
+        self._lat = config.latency
+        #: Multi-socket composition seam: when set (by MultiSocketSystem),
+        #: memory-side operations route through the inter-socket layer.
+        self.memory_side = None
+        self.node_id = 0
+
+    def _build_directory(self) -> Optional[SparseDirectory]:
+        dcfg = self.config.directory
+        if not dcfg.present:
+            return None
+        return SparseDirectory(
+            self.config.directory_entries, dcfg.ways,
+            unbounded=dcfg.unbounded,
+            replacement_disabled=dcfg.replacement_disabled)
+
+    # ------------------------------------------------------------------
+    # Public interface
+    # ------------------------------------------------------------------
+    def access(self, core: int, op: Op, address: int) -> int:
+        """Execute one memory reference; returns its core-visible latency
+        in cycles and advances the core's local clock."""
+        block = address >> BLOCK_SHIFT
+        if op is Op.WRITE:
+            latency = self._write(core, block)
+        else:
+            latency = self._read(core, block, code=op is Op.IFETCH)
+        self.stats.record_latency(op is Op.WRITE, latency)
+        self.stats.advance_core(core,
+                                latency + self._lat.compute_per_access)
+        return latency
+
+    def bank_of(self, block: int) -> LLCBank:
+        return self.banks[block & self._bank_mask]
+
+    # ------------------------------------------------------------------
+    # Core-side paths
+    # ------------------------------------------------------------------
+    def _read(self, core: int, block: int, code: bool) -> int:
+        hier = self.cores[core]
+        level = hier.read_hit_level(block, code)
+        if level == "l1":
+            self.stats.l1_hits += 1
+            return self._lat.l1_hit
+        if level == "l2":
+            self.stats.l2_hits += 1
+            return self._lat.l1_hit + self._lat.l2_hit
+        latency, version = self._gets(core, block, code)
+        if self.config.check_data:
+            self.shadow.check_read(block, version, "GETS response")
+        # The OOO window hides part of the uncore latency (MLP).
+        exposed = max(1, int(latency
+                             * self._lat.load_visibility_fraction))
+        return self._lat.l1_hit + self._lat.l2_hit + exposed
+
+    def _write(self, core: int, block: int) -> int:
+        hier = self.cores[core]
+        state = hier.write_hit_state(block)
+        if state is not None and state is not MESI.S:
+            # M hit, or silent E->M transition.
+            latency = self._lat.l1_hit
+        elif state is MESI.S:
+            self.stats.l2_hits += 1
+            self.stats.upgrades += 1
+            latency = (self._lat.l1_hit + self._lat.l2_hit
+                       + self._upgrade(core, block))
+        else:
+            latency = (self._lat.l1_hit + self._lat.l2_hit
+                       + self._getx(core, block))
+        version = self.shadow.commit_write(block)
+        hier.commit_write(block, version)
+        # Stores drain through the store buffer; only a fraction of the
+        # miss latency is exposed on the critical path.
+        exposed = self._lat.store_visibility_fraction
+        return max(1, int(latency * exposed))
+
+    # ------------------------------------------------------------------
+    # GETS: read / instruction-fetch miss
+    # ------------------------------------------------------------------
+    def _gets(self, core: int, block: int, code: bool
+              ) -> Tuple[int, int]:
+        """Service a core read miss; returns (uncore latency, version)."""
+        self.stats.core_cache_misses += 1
+        bank = self.bank_of(block)
+        latency = self.mesh.send_core_to_bank(MT.GETS, core, bank.bank_id)
+        latency += self._lat.queueing + self._lat.llc_tag
+        entry, extra = self._find_entry(block)
+        latency += extra
+        llc_line = bank.lookup_data(block)
+
+        if entry is not None and entry.state is DirState.ME:
+            if entry.owner == core:
+                raise ProtocolInvariantError(
+                    f"core {core} missed on block {block:#x} it owns")
+            fwd_latency, version = self._forward_gets(core, block, entry,
+                                                      bank, llc_line)
+            latency += fwd_latency
+        elif entry is not None:
+            serve_latency, version = self._shared_read(core, block, entry,
+                                                       bank, llc_line)
+            latency += serve_latency
+            entry.add_sharer(core)
+        else:
+            latency, version, entry = self._fill_from_uncore(
+                core, block, code, bank, llc_line, latency, exclusive=False)
+
+        state = MESI.S if (code or entry.state is DirState.S) else MESI.E
+        self._fill_private(core, block, state, version, code)
+        return latency, version
+
+    def _forward_gets(self, core: int, block: int, entry: DirectoryEntry,
+                      bank: LLCBank, llc_line: Optional[LLCLine]
+                      ) -> Tuple[int, int]:
+        """Three-hop read: home forwards to the owner, owner responds."""
+        owner = entry.owner
+        assert owner is not None
+        self.stats.forwarded_requests += 1
+        owner_line = self.cores[owner].line_of(block)
+        if owner_line is None:
+            raise ProtocolInvariantError(
+                f"directory says core {owner} owns block {block:#x} but "
+                "it holds no copy")
+        was_dirty = owner_line.state is MESI.M
+        latency = self.mesh.send(
+            MT.FWD_GETS, self.mesh.core_to_bank(owner, bank.bank_id))
+        latency += self._lat.l2_hit
+        latency += self.mesh.send_core_to_core(MT.DATA, owner, core)
+        line = self.cores[owner].downgrade_to_s(block)
+        version = line.version
+        # Busy-clear back to home; dirty data is written through to the
+        # LLC so the shared copy has a safe backing (off critical path).
+        self.mesh.send(MT.WRITEBACK if was_dirty else MT.BUSY_CLEAR,
+                       self.mesh.core_to_bank(owner, bank.bank_id))
+        old_state = entry.state
+        entry.make_shared()
+        entry.add_sharer(core)
+        self._entry_state_changed(entry, old_state, bank)
+        self._install_llc_data(bank, block, version, dirty=was_dirty)
+        return latency, version
+
+    def _shared_read(self, core: int, block: int, entry: DirectoryEntry,
+                     bank: LLCBank, llc_line: Optional[LLCLine]
+                     ) -> Tuple[int, int]:
+        """Read of a block in directory state S."""
+        usable, penalty = self._llc_serves_shared_read(entry, llc_line,
+                                                       bank)
+        if usable:
+            assert llc_line is not None
+            self.stats.llc_data_hits += 1
+            latency = penalty + self._lat.llc_data
+            latency += self.mesh.send_bank_to_core(MT.DATA, bank.bank_id,
+                                                   core)
+            return latency, llc_line.version
+        # Block not (usably) in the LLC: forward to an elected sharer,
+        # which responds directly (three hops), and refresh the LLC copy.
+        self.stats.llc_data_misses += 1
+        self.stats.llc_read_misses += 1
+        self.stats.forwarded_requests += 1
+        sharer = entry.any_sharer(exclude=core)
+        sharer_line = self.cores[sharer].line_of(block)
+        if sharer_line is None:
+            raise ProtocolInvariantError(
+                f"directory lists core {sharer} for block {block:#x} but "
+                "it holds no copy")
+        latency = penalty + self.mesh.send(
+            MT.FWD_GETS, self.mesh.core_to_bank(sharer, bank.bank_id))
+        latency += self._lat.l2_hit
+        latency += self.mesh.send_core_to_core(MT.DATA, sharer, core)
+        self.mesh.send(MT.WRITEBACK,
+                       self.mesh.core_to_bank(sharer, bank.bank_id))
+        self._install_llc_data(bank, block, sharer_line.version,
+                               dirty=sharer_line.dirty)
+        return latency, sharer_line.version
+
+    # ------------------------------------------------------------------
+    # GETX / upgrade: write misses
+    # ------------------------------------------------------------------
+    def _getx(self, core: int, block: int) -> int:
+        """Service a write miss (read-exclusive)."""
+        self.stats.core_cache_misses += 1
+        bank = self.bank_of(block)
+        latency = self.mesh.send_core_to_bank(MT.GETX, core, bank.bank_id)
+        latency += self._lat.queueing + self._lat.llc_tag
+        entry, extra = self._find_entry(block)
+        latency += extra
+        llc_line = bank.lookup_data(block)
+        if entry is not None or (llc_line is not None
+                                 and self._llc_data_usable(llc_line)):
+            # The socket holds a valid copy: remote read copies (if any)
+            # must be invalidated before granting ownership.
+            latency += self._acquire_socket_exclusive(block)
+
+        if entry is not None and entry.state is DirState.ME:
+            if entry.owner == core:
+                raise ProtocolInvariantError(
+                    f"core {core} write-missed on block {block:#x} it owns")
+            owner = entry.owner
+            assert owner is not None
+            self.stats.forwarded_requests += 1
+            latency += self.mesh.send(
+                MT.FWD_GETX, self.mesh.core_to_bank(owner, bank.bank_id))
+            latency += self._lat.l2_hit
+            latency += self.mesh.send_core_to_core(MT.DATA, owner, core)
+            self.mesh.send(MT.BUSY_CLEAR,
+                           self.mesh.core_to_bank(owner, bank.bank_id))
+            line = self.cores[owner].invalidate(block)
+            assert line is not None
+            version = line.version
+            old_state = entry.state
+            entry.make_owned(core)
+            self._entry_state_changed(entry, old_state, bank)
+        elif entry is not None:
+            # Shared block: invalidate every sharer; data from the LLC if
+            # usable, else combined forward+invalidate to one sharer.
+            version, inv_latency = self._invalidate_sharers(
+                core, block, entry, bank, llc_line, need_data=True)
+            latency += inv_latency
+            old_state = entry.state
+            entry.make_owned(core)
+            self._entry_state_changed(entry, old_state, bank)
+        else:
+            latency, version, entry = self._fill_from_uncore(
+                core, block, code=False, bank=bank, llc_line=llc_line,
+                latency=latency, exclusive=True)
+        if self.config.check_data:
+            self.shadow.check_read(block, version, "GETX response")
+        self._block_became_owned(bank, block)
+        self._fill_private(core, block, MESI.M, version, code=False)
+        return latency
+
+    def _upgrade(self, core: int, block: int) -> int:
+        """S -> M permission request; the requester keeps its data."""
+        bank = self.bank_of(block)
+        latency = self.mesh.send_core_to_bank(MT.UPGRADE, core,
+                                              bank.bank_id)
+        latency += self._lat.queueing + self._lat.llc_tag
+        entry, extra = self._find_entry(block)
+        latency += extra
+        if entry is None or not entry.is_sharer(core):
+            raise ProtocolInvariantError(
+                f"upgrade by core {core} on block {block:#x} without a "
+                "live directory entry: a private S copy must be tracked")
+        latency += self._acquire_socket_exclusive(block)
+        _, inv_latency = self._invalidate_sharers(
+            core, block, entry, bank, bank.lookup_data(block),
+            need_data=False)
+        latency += inv_latency
+        latency += self.mesh.send_bank_to_core(MT.ACK, bank.bank_id, core)
+        old_state = entry.state
+        entry.make_owned(core)
+        self._entry_state_changed(entry, old_state, bank)
+        self._block_became_owned(bank, block)
+        self.cores[core].set_state(block, MESI.E)   # grant; store makes M
+        return latency
+
+    def _invalidate_sharers(self, requester: int, block: int,
+                            entry: DirectoryEntry, bank: LLCBank,
+                            llc_line: Optional[LLCLine], need_data: bool
+                            ) -> Tuple[int, int]:
+        """Invalidate every sharer other than ``requester``.
+
+        Returns (data version, critical-path latency). Acknowledgments are
+        collected by the requester; the exposed latency is the slowest
+        invalidation round plus the data-supply path when data is needed.
+        """
+        inv_path = 0
+        data_version: Optional[int] = None
+        victims = [c for c in entry.sharer_cores() if c != requester]
+        for sharer in victims:
+            self.stats.invalidations_sent += 1
+            to_sharer = self.mesh.send(
+                MT.INV, self.mesh.core_to_bank(sharer, bank.bank_id))
+            to_requester = self.mesh.send_core_to_core(
+                MT.INV_ACK, sharer, requester)
+            inv_path = max(inv_path, to_sharer + self._lat.l2_hit
+                           + to_requester)
+            line = self.cores[sharer].invalidate(block)
+            assert line is not None
+            data_version = line.version
+            entry.remove_sharer(sharer)
+        if not need_data:
+            return 0, inv_path
+        if llc_line is not None and self._llc_data_usable(llc_line):
+            self.stats.llc_data_hits += 1
+            data_path = (self._lat.llc_data + self.mesh.send_bank_to_core(
+                MT.DATA, bank.bank_id, requester))
+            return llc_line.version, max(data_path, inv_path)
+        if data_version is None:
+            raise ProtocolInvariantError(
+                f"GETX on shared block {block:#x} with no data source")
+        # Data rode along with the last invalidation acknowledgment.
+        self.stats.llc_data_misses += 1
+        return data_version, inv_path
+
+    # ------------------------------------------------------------------
+    # Fills from LLC or memory when no directory entry exists
+    # ------------------------------------------------------------------
+    def _fill_from_uncore(self, core: int, block: int, code: bool,
+                          bank: LLCBank, llc_line: Optional[LLCLine],
+                          latency: int, exclusive: bool
+                          ) -> Tuple[int, int, DirectoryEntry]:
+        """No live directory entry: serve from the LLC or main memory and
+        allocate a fresh entry (the DEV-generating step in the baseline)."""
+        if llc_line is not None and self._llc_data_usable(llc_line):
+            self.stats.llc_data_hits += 1
+            latency += self._lat.llc_data
+            latency += self.mesh.send_bank_to_core(MT.DATA, bank.bank_id,
+                                                   core)
+            version = llc_line.version
+            if not exclusive and not code and not self._exclusive_grant_ok(
+                    block):
+                # Other sockets hold read copies: an E grant (and its
+                # silent E->M) would leave them stale -- grant S.
+                code = True
+        else:
+            if llc_line is not None and llc_line.kind is not LineKind.DATA:
+                raise ProtocolInvariantError(
+                    f"block {block:#x} has an LLC entry frame but no "
+                    "directory entry was found")
+            self.stats.llc_data_misses += 1
+            if not exclusive:
+                self.stats.llc_read_misses += 1
+            fetch_latency, version, exclusive_ok = self._fetch_from_memory(
+                block, exclusive)
+            latency += fetch_latency
+            latency += self.mesh.send_bank_to_core(MT.DATA, bank.bank_id,
+                                                   core)
+            self._fill_llc_from_memory(bank, block, version, code)
+            if not exclusive_ok:
+                # Other sockets hold read copies: only an S grant is
+                # legal (a silent E->M would break socket-level MESI).
+                code = True
+        state = DirState.S if code else DirState.ME
+        owner = None if code else core
+        entry = self._allocate_entry(block, state, core, owner, bank)
+        if not code and self.config.llc_design is LLCDesign.EPD:
+            # The block is now temporarily private: EPD de-allocates it.
+            self._epd_deallocate(bank, block)
+        return latency, version, entry
+
+    def _memory_fetch_latency(self, block: int) -> int:
+        """DRAM read for a demand fill (overridden for corrupted blocks)."""
+        return self.dram.read(block)
+
+    def _fetch_from_memory(self, block: int, exclusive: bool):
+        """Fetch a block the socket does not have.
+
+        Returns (latency, version, exclusive_ok): ``exclusive_ok`` tells
+        whether the socket now holds the block exclusively at the system
+        level (an E grant is only legal then). Locally this is a DRAM
+        read; in a multi-socket system the inter-socket layer resolves it
+        (home memory, or a downgrade / invalidation of remote sockets).
+        """
+        if self.memory_side is not None:
+            return self.memory_side.fetch(self, block, exclusive)
+        return (self._memory_fetch_latency(block),
+                self._dram_version.get(block, 0), True)
+
+    def _exclusive_grant_ok(self, block: int) -> bool:
+        """May a local fill be granted E? Only when no other socket holds
+        a copy (always true in a single-socket system)."""
+        if self.memory_side is not None:
+            return self.memory_side.exclusive_grant_ok(self, block)
+        return True
+
+    def _acquire_socket_exclusive(self, block: int) -> int:
+        """Invalidate remote sockets' read copies before a local write.
+
+        Only reachable when this socket already holds a valid copy, which
+        rules out a remote owner -- at most remote S sharers exist.
+        Returns the added critical-path latency (0 in a single socket).
+        """
+        if self.memory_side is not None:
+            return self.memory_side.acquire_exclusive(self, block)
+        return 0
+
+    def _presence_lost(self, block: int, version: int) -> None:
+        """The last copy of ``block`` left this socket (notify home)."""
+        if self.memory_side is not None:
+            self.memory_side.presence_lost(self, block, version)
+
+    def _fill_llc_from_memory(self, bank: LLCBank, block: int,
+                              version: int, code: bool) -> None:
+        """Demand fills allocate in the LLC -- except data fills in EPD."""
+        if self.config.llc_design is LLCDesign.EPD and not code:
+            return
+        self._install_llc_data(bank, block, version, dirty=False)
+
+    # ------------------------------------------------------------------
+    # LLC management
+    # ------------------------------------------------------------------
+    def _llc_data_usable(self, llc_line: LLCLine) -> bool:
+        """Can this frame supply data? Fused frames are corrupted."""
+        return llc_line.kind is LineKind.DATA
+
+    def _llc_serves_shared_read(self, entry: DirectoryEntry,
+                                llc_line: Optional[LLCLine],
+                                bank: LLCBank) -> Tuple[bool, int]:
+        """Hook: can the LLC serve a read to this shared block, and at
+        what extra critical-path cost? (ZeroDEV policies override.)"""
+        if llc_line is None or not self._llc_data_usable(llc_line):
+            return False, 0
+        return True, 0
+
+    def _install_llc_data(self, bank: LLCBank, block: int, version: int,
+                          dirty: bool) -> None:
+        """Allocate or refresh the LLC copy of ``block``."""
+        line = bank.lookup_data(block, touch=False)
+        if line is not None:
+            line.version = version
+            line.dirty = line.dirty or dirty
+            if line.kind is LineKind.FUSED:
+                self._data_arrived_at_fused(bank, line)
+            return
+        victim = bank.insert(LLCLine(block, LineKind.DATA, dirty=dirty,
+                                     version=version))
+        if victim is not None:
+            self._handle_llc_victim(bank, victim)
+        self._data_allocated(bank, block)
+
+    def _epd_deallocate(self, bank: LLCBank, block: int) -> None:
+        line = bank.lookup_data(block, touch=False)
+        if line is None:
+            return
+        if line.kind is not LineKind.DATA:
+            raise ProtocolInvariantError(
+                f"EPD de-allocation of block {block:#x} found a "
+                f"{line.kind.value} frame")
+        if line.dirty:
+            # The owner has (or is about to produce) a newer version; the
+            # LLC copy is redundant but must not be silently lost if it is
+            # the only clean backing. Writing it back keeps memory sound.
+            self._writeback_to_memory(line)
+        bank.remove(line)
+
+    def _block_became_owned(self, bank: LLCBank, block: int) -> None:
+        """Hook called when a block transitions to M/E (EPD de-allocates;
+        ZeroDEV FPSS re-locates a spilled entry into fused form)."""
+        if self.config.llc_design is LLCDesign.EPD:
+            self._epd_deallocate(bank, block)
+
+    def _data_arrived_at_fused(self, bank: LLCBank, line: LLCLine) -> None:
+        """Hook: fresh data written into a frame holding a fused entry."""
+        # Baseline never has fused frames.
+        raise ProtocolInvariantError("fused frame in baseline protocol")
+
+    def _data_allocated(self, bank: LLCBank, block: int) -> None:
+        """Hook called after a new DATA frame is installed (FuseAll uses
+        this to re-fuse a spilled entry with its returning block)."""
+
+    def _writeback_to_memory(self, line: LLCLine) -> None:
+        self.stats.llc_writebacks_to_dram += 1
+        if self.memory_side is not None:
+            self.memory_side.writeback(self, line.block, line.version)
+            return
+        self.dram.write(line.block)
+        self._dram_version[line.block] = line.version
+        self._memory_healed(line.block)
+
+    def _memory_healed(self, block: int) -> None:
+        """Hook: a real-data DRAM write un-corrupts the home block."""
+
+    def _handle_llc_victim(self, bank: LLCBank, victim: LLCLine) -> None:
+        """Process an LLC replacement victim (baseline: plain writeback;
+        inclusive design adds back-invalidation)."""
+        self.stats.llc_evictions += 1
+        if victim.kind is not LineKind.DATA:
+            raise ProtocolInvariantError(
+                "baseline LLC should never hold directory-entry frames")
+        if self.config.llc_design is LLCDesign.INCLUSIVE:
+            self._back_invalidate(bank, victim)
+        if victim.dirty:
+            self._writeback_to_memory(victim)
+        if self._peek_entry(victim.block) is None:
+            # The LLC copy was the socket's last: tell the home socket.
+            self._presence_lost(victim.block, victim.version)
+
+    def _back_invalidate(self, bank: LLCBank, victim: LLCLine) -> None:
+        """Inclusive LLC: evicting a block invalidates private copies."""
+        entry, _ = self._find_entry(victim.block)
+        if entry is None:
+            return
+        for sharer in list(entry.sharer_cores()):
+            self.stats.inclusion_invalidations += 1
+            self.mesh.send(MT.INV,
+                           self.mesh.core_to_bank(sharer, bank.bank_id))
+            self.mesh.send(MT.INV_ACK,
+                           self.mesh.core_to_bank(sharer, bank.bank_id))
+            line = self.cores[sharer].invalidate(victim.block)
+            assert line is not None
+            if line.state is MESI.M:
+                victim.version = line.version
+                victim.dirty = True
+            entry.remove_sharer(sharer)
+        self._free_entry(entry, bank, evictor_version=victim.version)
+
+    # ------------------------------------------------------------------
+    # Directory-entry lifecycle (hooks overridden by ZeroDEV and others)
+    # ------------------------------------------------------------------
+    def _find_entry(self, block: int
+                    ) -> Tuple[Optional[DirectoryEntry], int]:
+        """Locate the directory entry for ``block``.
+
+        Returns (entry or None, extra critical-path latency). The baseline
+        only looks in the sparse directory, in parallel with the LLC tag
+        lookup (zero extra latency).
+        """
+        assert self.directory is not None
+        return self.directory.lookup(block), 0
+
+    def _allocate_entry(self, block: int, state: DirState, requester: int,
+                        owner: Optional[int], bank: LLCBank
+                        ) -> DirectoryEntry:
+        """Allocate a fresh entry, evicting an NRU victim if the set is
+        full -- the step that manufactures DEVs in the baseline."""
+        assert self.directory is not None
+        self.stats.dir_allocations += 1
+        if not self.directory.has_room(block):
+            victim = self.directory.choose_victim(block)
+            self.directory.remove(victim.block)
+            self._process_dev(victim)
+        entry = DirectoryEntry(block, state, owner=owner,
+                               sharers=1 << requester)
+        self.directory.insert(entry)
+        return entry
+
+    def _process_dev(self, victim: DirectoryEntry) -> None:
+        """Invalidate every private copy the evicted entry was tracking."""
+        self.stats.dir_evictions += 1
+        bank = self.bank_of(victim.block)
+        generated = False
+        last_version = 0
+        for sharer in list(victim.sharer_cores()):
+            generated = True
+            self.stats.dev_invalidations += 1
+            self.stats.invalidations_sent += 1
+            self.mesh.send(MT.INV,
+                           self.mesh.core_to_bank(sharer, bank.bank_id))
+            line = self.cores[sharer].invalidate(victim.block)
+            assert line is not None
+            last_version = line.version
+            if line.state is MESI.M:
+                # The dirty block is retrieved into the LLC (Section I-A1:
+                # "dirty blocks were retrieved from the owner cores as
+                # DEVs due to directory entry eviction").
+                self.mesh.send(MT.WRITEBACK,
+                               self.mesh.core_to_bank(sharer, bank.bank_id))
+                self._install_llc_data(bank, victim.block, line.version,
+                                       dirty=True)
+            else:
+                self.mesh.send(MT.INV_ACK,
+                               self.mesh.core_to_bank(sharer, bank.bank_id))
+            victim.remove_sharer(sharer)
+        if generated:
+            self.stats.dev_events += 1
+            if bank.peek_data(victim.block) is None:
+                self._presence_lost(victim.block, last_version)
+
+    def _free_entry(self, entry: DirectoryEntry, bank: LLCBank,
+                    evictor_version: int = 0,
+                    evictor_core: Optional[int] = None) -> None:
+        """Release an entry whose last private copy went away."""
+        if entry.location is not EntryLocation.SPARSE:
+            raise ProtocolInvariantError(
+                "baseline entries live only in the sparse directory")
+        assert self.directory is not None
+        self.directory.remove(entry.block)
+
+    def _entry_state_changed(self, entry: DirectoryEntry,
+                             old_state: DirState, bank: LLCBank) -> None:
+        """Hook: entry moved between M/E and S (FPSS re-locates here)."""
+
+    # ------------------------------------------------------------------
+    # Private-cache eviction notices
+    # ------------------------------------------------------------------
+    def _fill_private(self, core: int, block: int, state: MESI,
+                      version: int, code: bool) -> None:
+        notices = self.cores[core].fill(block, state, version, code)
+        for notice in notices:
+            self._process_notice(notice)
+
+    def _process_notice(self, notice: EvictionNotice) -> None:
+        """Handle one private-hierarchy eviction notice at the home."""
+        block = notice.block
+        bank = self.bank_of(block)
+        entry = self._find_entry_for_notice(block, bank)
+        if entry is None:
+            self._notice_without_entry(notice, bank)
+            return
+        if notice.state is MESI.M:
+            self.mesh.send(MT.WRITEBACK,
+                           self.mesh.core_to_bank(notice.core,
+                                                  bank.bank_id))
+            self._install_llc_data(bank, block, notice.version, dirty=True)
+        else:
+            kind = self._clean_notice_kind(notice)
+            self.mesh.send(kind, self.mesh.core_to_bank(notice.core,
+                                                        bank.bank_id))
+            if (notice.state is MESI.E
+                    and self.config.llc_design is LLCDesign.EPD):
+                # EPD allocates the block in the LLC when it is evicted
+                # from the owner core's private hierarchy (Section III-E).
+                self._install_llc_data(bank, block, notice.version,
+                                       dirty=False)
+        entry.remove_sharer(notice.core)
+        if entry.empty:
+            self._free_entry(entry, bank, evictor_version=notice.version,
+                             evictor_core=notice.core)
+            if bank.peek_data(block) is None:
+                # No LLC copy either: the block has left the socket.
+                self._presence_lost(block, notice.version)
+        else:
+            self._notice_done(entry, bank)
+
+    def _find_entry_for_notice(self, block: int, bank: LLCBank
+                               ) -> Optional[DirectoryEntry]:
+        """Entry lookup for the eviction-notice path.
+
+        ZeroDEV overrides this with the GET_DE flow of Section III-D4
+        (memory-housed entries are read and updated in place rather than
+        promoted back into the socket).
+        """
+        entry, _ = self._find_entry(block)
+        return entry
+
+    def _notice_done(self, entry: DirectoryEntry, bank: LLCBank) -> None:
+        """Hook after a notice updated a still-live entry (ZeroDEV writes
+        memory-housed entries back here)."""
+
+    def _clean_notice_kind(self, notice: EvictionNotice) -> MT:
+        """Message type for a clean (E/S) eviction notice."""
+        return MT.EVICT_CLEAN
+
+    def _notice_without_entry(self, notice: EvictionNotice,
+                              bank: LLCBank) -> None:
+        """An eviction notice found no directory entry in the socket.
+
+        Impossible in the baseline: a private copy always has a live entry
+        (DEV invalidations enforce it). ZeroDEV overrides this with the
+        GET_DE flow of Section III-D4.
+        """
+        raise ProtocolInvariantError(
+            f"baseline eviction notice for untracked block "
+            f"{notice.block:#x} from core {notice.core}")
+
+    # ------------------------------------------------------------------
+    # Invariant checking support (used heavily by the test-suite)
+    # ------------------------------------------------------------------
+    def _peek_entry(self, block: int) -> Optional[DirectoryEntry]:
+        """Side-effect-free entry lookup (invariant checking only)."""
+        assert self.directory is not None
+        return self.directory.peek(block)
+
+    def check_invariants(self) -> None:
+        """Verify SWMR and directory precision over the whole socket."""
+        tracked = {}
+        for core, hier in enumerate(self.cores):
+            for block in hier.cached_blocks():
+                state = hier.probe(block)
+                tracked.setdefault(block, []).append((core, state))
+        for block, holders in tracked.items():
+            owners = [c for c, s in holders if s is not MESI.S]
+            if owners and len(holders) > 1:
+                raise ProtocolInvariantError(
+                    f"SWMR violated for block {block:#x}: {holders}")
+            entry = self._peek_entry(block)
+            if entry is None:
+                raise ProtocolInvariantError(
+                    f"block {block:#x} privately cached but untracked")
+            holder_set = {c for c, _ in holders}
+            entry_set = set(entry.sharer_cores())
+            if holder_set != entry_set:
+                raise ProtocolInvariantError(
+                    f"directory imprecise for block {block:#x}: entry "
+                    f"{sorted(entry_set)} vs caches {sorted(holder_set)}")
+            if owners and entry.state is not DirState.ME:
+                raise ProtocolInvariantError(
+                    f"entry state S but core owns block {block:#x}")

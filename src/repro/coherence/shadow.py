@@ -1,0 +1,42 @@
+"""Shadow memory: the data-correctness oracle.
+
+Block contents are modeled as versions (see ``caches.block``). The shadow
+records, outside the protocol, the latest committed version of every block.
+When ``check_data`` is enabled the protocol asserts that every load is
+served the latest version -- a full end-to-end data-correctness check of
+whatever coherence scheme is running.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.common.errors import ProtocolInvariantError
+
+
+class ShadowMemory:
+    """Latest-committed-version oracle, independent of the protocol."""
+
+    def __init__(self) -> None:
+        self._latest: Dict[int, int] = {}
+        self._next_version = 1
+
+    def commit_write(self, block: int) -> int:
+        """Record a store to ``block``; returns the new version number."""
+        version = self._next_version
+        self._next_version += 1
+        self._latest[block] = version
+        return version
+
+    def latest(self, block: int) -> int:
+        """Latest committed version of ``block`` (0 if never written)."""
+        return self._latest.get(block, 0)
+
+    def check_read(self, block: int, served_version: int,
+                   where: str) -> None:
+        """Assert a load observed the latest version of ``block``."""
+        expected = self.latest(block)
+        if served_version != expected:
+            raise ProtocolInvariantError(
+                f"stale data: block {block:#x} read from {where} returned "
+                f"version {served_version}, latest is {expected}")

@@ -1,0 +1,49 @@
+"""Shared infrastructure: addressing, configuration, statistics, messages.
+
+Everything in this package is protocol-agnostic; it is used by the baseline
+coherence substrate, the ZeroDEV core, and all comparison baselines.
+"""
+
+from repro.common.addressing import AddressMapper, BLOCK_BYTES
+from repro.common.config import (
+    CacheGeometry,
+    DirectoryConfig,
+    DramConfig,
+    LatencyConfig,
+    LLCDesign,
+    MeshConfig,
+    Protocol,
+    SystemConfig,
+    table1_socket,
+    scaled_socket,
+)
+from repro.common.errors import (
+    CoherenceError,
+    ConfigError,
+    ProtocolInvariantError,
+    SimulationError,
+)
+from repro.common.messages import MessageType, message_bytes
+from repro.common.stats import SystemStats
+
+__all__ = [
+    "AddressMapper",
+    "BLOCK_BYTES",
+    "CacheGeometry",
+    "CoherenceError",
+    "ConfigError",
+    "DirectoryConfig",
+    "DramConfig",
+    "LLCDesign",
+    "LatencyConfig",
+    "MeshConfig",
+    "MessageType",
+    "Protocol",
+    "ProtocolInvariantError",
+    "SimulationError",
+    "SystemConfig",
+    "SystemStats",
+    "message_bytes",
+    "scaled_socket",
+    "table1_socket",
+]

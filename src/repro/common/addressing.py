@@ -1,0 +1,80 @@
+"""Block addressing helpers.
+
+The simulator works internally on *block numbers* (byte address divided by
+the block size). All caches in the modeled system use 64-byte blocks, as in
+Table I of the paper. The :class:`AddressMapper` centralizes the index
+arithmetic used by caches, directory slices, and the LLC bank hash so each
+structure does not reimplement (and potentially disagree on) the mapping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Cache block size in bytes (Table I: 64-byte block everywhere).
+BLOCK_BYTES = 64
+
+#: log2 of the block size, used to convert byte addresses to block numbers.
+BLOCK_SHIFT = 6
+
+
+def block_of(address: int) -> int:
+    """Return the block number containing byte ``address``."""
+    return address >> BLOCK_SHIFT
+
+
+def address_of(block: int) -> int:
+    """Return the first byte address of ``block`` (inverse of block_of)."""
+    return block << BLOCK_SHIFT
+
+
+@dataclass(frozen=True)
+class AddressMapper:
+    """Maps block numbers onto banks and sets.
+
+    The LLC is banked; a block's *home bank* is chosen by low-order block
+    bits (bank interleaving at block granularity, the common design the
+    paper assumes: "A slice of the sparse directory resides alongside each
+    LLC bank"). Within a bank, the set index uses the next-lowest bits.
+
+    Parameters
+    ----------
+    n_banks:
+        Number of LLC banks (must be a power of two).
+    sets_per_bank:
+        Number of sets in one LLC bank (power of two).
+    """
+
+    n_banks: int
+    sets_per_bank: int
+
+    def __post_init__(self) -> None:
+        for name, value in (("n_banks", self.n_banks),
+                            ("sets_per_bank", self.sets_per_bank)):
+            if value <= 0 or value & (value - 1):
+                raise ValueError(f"{name} must be a positive power of two, "
+                                 f"got {value}")
+
+    def bank_of(self, block: int) -> int:
+        """Home LLC bank (and directory slice) of ``block``."""
+        return block & (self.n_banks - 1)
+
+    def set_of(self, block: int) -> int:
+        """Set index of ``block`` within its home bank."""
+        return (block >> self.n_banks.bit_length() - 1) & (
+            self.sets_per_bank - 1)
+
+    def tag_of(self, block: int) -> int:
+        """Tag of ``block`` within its (bank, set)."""
+        bank_bits = self.n_banks.bit_length() - 1
+        set_bits = self.sets_per_bank.bit_length() - 1
+        return block >> (bank_bits + set_bits)
+
+
+def set_index(block: int, n_sets: int) -> int:
+    """Set index for a non-banked structure with ``n_sets`` sets.
+
+    Used by the private caches and the sparse directory slices, which index
+    with the low-order block bits directly.
+    """
+    return block & (n_sets - 1)

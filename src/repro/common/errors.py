@@ -1,0 +1,26 @@
+"""Exception hierarchy for the simulator.
+
+Raising a :class:`ProtocolInvariantError` anywhere means a coherence
+invariant has been violated; tests treat any such raise as a hard failure.
+"""
+
+
+class SimulationError(Exception):
+    """Base class for every error raised by the simulator."""
+
+
+class ConfigError(SimulationError):
+    """An invalid or inconsistent configuration was supplied."""
+
+
+class CoherenceError(SimulationError):
+    """A coherence transaction could not be completed legally."""
+
+
+class ProtocolInvariantError(CoherenceError):
+    """A protocol invariant (SWMR, directory precision, ...) was violated.
+
+    The simulator checks invariants aggressively; this error surfacing in a
+    run always indicates a bug in a protocol implementation, never a
+    legitimate runtime condition.
+    """

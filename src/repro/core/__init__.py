@@ -1,0 +1,6 @@
+"""The paper's contribution: the ZeroDEV protocol and its mechanisms."""
+
+from repro.core.housing import DirEvictBitmap, MemoryHousing
+from repro.core.protocol import ZeroDEVSystem
+
+__all__ = ["DirEvictBitmap", "MemoryHousing", "ZeroDEVSystem"]

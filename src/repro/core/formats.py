@@ -1,0 +1,237 @@
+"""Bit-level formats of spilled and fused directory entries.
+
+These encoders/decoders implement Figures 9 and 11 of the paper and the
+home-memory segment layout of Section III-D. The timing simulator carries
+directory entries as Python objects, but the formats here are used to
+
+* verify that every configuration actually fits its bit budget (e.g. the
+  ``512 >= M * (N + 1) + (M + 2)`` bound for housing socket-level entries),
+* account storage overheads, and
+* round-trip-test the encodings (a fused block must be reconstructible
+  from the preserved low-order bits exactly as the protocol claims).
+
+Bit layout conventions (least significant bit first):
+
+Spilled entry (both policies, Figure 9a / 11a)::
+
+    b0 = 1 (spilled); b1.. = the directory entry payload
+
+FPSS fused block (Figure 9b)::
+
+    b0 = 0 (fused); b1 = block dirty; b2 = busy;
+    b3..b_{2+ceil(log2 N)} = owner; rest = block data
+
+FuseAll fused block (Figure 11b/c)::
+
+    b0 = 0; b1 = dirty; b2 = busy; b3 = state (M/E vs S);
+    then owner (ceil(log2 N) bits) or sharer vector (N bits); rest = data
+
+Home-memory housed entry (Section III-D)::
+
+    one (N+1)-bit segment per socket: N sharer bits + 1 state bit
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.coherence.entry import DirectoryEntry, DirState
+from repro.common.addressing import BLOCK_BYTES
+from repro.common.errors import ConfigError
+
+BLOCK_BITS = BLOCK_BYTES * 8
+
+
+def owner_bits(n_cores: int) -> int:
+    """Bits needed to encode an owner core id."""
+    return max(1, math.ceil(math.log2(n_cores)))
+
+
+def fpss_corrupted_bits(n_cores: int) -> int:
+    """Low-order bits corrupted by an FPSS fused entry: F/Sp + D + B +
+    owner = 3 + ceil(log2 N) (Section III-C2)."""
+    return 3 + owner_bits(n_cores)
+
+
+def fuseall_corrupted_bits(n_cores: int, state: DirState) -> int:
+    """Bits corrupted by a FuseAll fused entry: 4 + ceil(log2 N) for M/E,
+    4 + N for S (Section III-C3)."""
+    if state is DirState.ME:
+        return 4 + owner_bits(n_cores)
+    return 4 + n_cores
+
+
+# ----------------------------------------------------------------------
+# Spilled entries (full LLC block)
+# ----------------------------------------------------------------------
+def encode_spilled(entry: DirectoryEntry, n_cores: int) -> int:
+    """Pack ``entry`` into a 512-bit LLC block image (Figure 9a)."""
+    payload = _entry_payload(entry, n_cores)
+    if 1 + _payload_bits(n_cores) > BLOCK_BITS:
+        raise ConfigError(f"{n_cores}-core entry exceeds one LLC block")
+    return payload << 1 | 1     # b0 = 1: spilled
+
+
+def decode_spilled(image: int, n_cores: int) -> DirectoryEntry:
+    """Inverse of :func:`encode_spilled` (block number not recoverable
+    from the image; the caller supplies it via the frame tag)."""
+    if not image & 1:
+        raise ValueError("image is not a spilled entry (b0 == 0)")
+    return _entry_from_payload(image >> 1, n_cores)
+
+
+# ----------------------------------------------------------------------
+# FPSS fused blocks
+# ----------------------------------------------------------------------
+def encode_fused_fpss(entry: DirectoryEntry, block_data: int, dirty: bool,
+                      n_cores: int, busy: bool = False) -> int:
+    """Overwrite the low bits of ``block_data`` with an FPSS fused entry.
+
+    Only M/E entries may fuse under FPSS (the Section III-C2 invariant);
+    the owner field fully identifies the copy-holder.
+    """
+    if entry.state is not DirState.ME or entry.owner is None:
+        raise ValueError("FPSS fuses only M/E entries")
+    nbits = fpss_corrupted_bits(n_cores)
+    image = block_data >> nbits << nbits    # clear the corrupted bits
+    fields = entry.owner << 3 | int(busy) << 2 | int(dirty) << 1 | 0
+    return image | fields
+
+
+def decode_fused_fpss(image: int, block: int, n_cores: int):
+    """Return (entry, dirty, busy, preserved-data-high-bits)."""
+    if image & 1:
+        raise ValueError("image is a spilled entry, not fused")
+    dirty = bool(image >> 1 & 1)
+    busy = bool(image >> 2 & 1)
+    owner = image >> 3 & (1 << owner_bits(n_cores)) - 1
+    nbits = fpss_corrupted_bits(n_cores)
+    entry = DirectoryEntry(block, DirState.ME, owner=owner)
+    return entry, dirty, busy, image >> nbits
+
+def reconstruct_fused_fpss(image: int, low_bits: int, n_cores: int) -> int:
+    """Rebuild the original block from a fused image plus the low-order
+    bits returned by the owner's eviction notice (Section III-C2)."""
+    nbits = fpss_corrupted_bits(n_cores)
+    mask = (1 << nbits) - 1
+    return image >> nbits << nbits | low_bits & mask
+
+
+# ----------------------------------------------------------------------
+# FuseAll fused blocks
+# ----------------------------------------------------------------------
+def encode_fused_fuseall(entry: DirectoryEntry, block_data: int,
+                         dirty: bool, n_cores: int,
+                         busy: bool = False) -> int:
+    """FuseAll fused image: M/E stores the owner, S the sharer vector."""
+    nbits = fuseall_corrupted_bits(n_cores, entry.state)
+    image = block_data >> nbits << nbits
+    if entry.state is DirState.ME:
+        assert entry.owner is not None
+        tracking = entry.owner
+        state_bit = 0
+    else:
+        tracking = entry.sharers
+        state_bit = 1
+    fields = (tracking << 4 | state_bit << 3 | int(busy) << 2
+              | int(dirty) << 1 | 0)
+    return image | fields
+
+
+def decode_fused_fuseall(image: int, block: int, n_cores: int):
+    """Return (entry, dirty, busy)."""
+    if image & 1:
+        raise ValueError("image is a spilled entry, not fused")
+    dirty = bool(image >> 1 & 1)
+    busy = bool(image >> 2 & 1)
+    shared = bool(image >> 3 & 1)
+    if shared:
+        sharers = image >> 4 & (1 << n_cores) - 1
+        entry = DirectoryEntry(block, DirState.S, sharers=sharers)
+    else:
+        owner = image >> 4 & (1 << owner_bits(n_cores)) - 1
+        entry = DirectoryEntry(block, DirState.ME, owner=owner)
+    return entry, dirty, busy
+
+
+# ----------------------------------------------------------------------
+# Home-memory housing (Section III-D)
+# ----------------------------------------------------------------------
+def max_sockets(n_cores: int) -> int:
+    """Sockets whose intra-socket entries fit one 64-byte memory block
+    with full-map vectors: floor(512 / (N + 1))."""
+    return BLOCK_BITS // (n_cores + 1)
+
+
+def max_sockets_with_socket_entry(n_cores: int) -> int:
+    """Solution 2 bound (Section III-D5): M(N+1) + (M+2) <= 512."""
+    return (BLOCK_BITS - 2) // (n_cores + 2)
+
+
+@dataclass
+class HousedBlockImage:
+    """A home-memory block overwritten with per-socket entry segments."""
+
+    n_cores: int
+    n_sockets: int
+    segments: List[Optional[int]] = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.n_sockets > max_sockets(self.n_cores):
+            raise ConfigError(
+                f"{self.n_sockets} sockets of {self.n_cores} cores do not "
+                f"fit one {BLOCK_BITS}-bit memory block")
+        if self.segments is None:
+            self.segments = [None] * self.n_sockets
+
+    def store(self, socket: int, entry: DirectoryEntry) -> None:
+        """Place ``entry`` into the segment reserved for ``socket``."""
+        self.segments[socket] = _entry_payload(entry, self.n_cores)
+
+    def load(self, socket: int, block: int) -> Optional[DirectoryEntry]:
+        payload = self.segments[socket]
+        if payload is None:
+            return None
+        return _entry_from_payload(payload, self.n_cores, block)
+
+    def clear(self, socket: int) -> None:
+        self.segments[socket] = None
+
+    def pack(self) -> int:
+        """Serialize all segments into a single block image."""
+        width = self.n_cores + 1
+        image = 0
+        for index, payload in enumerate(self.segments):
+            if payload is not None:
+                image |= payload << index * width
+        return image
+
+
+# ----------------------------------------------------------------------
+# Shared payload helpers
+# ----------------------------------------------------------------------
+def _payload_bits(n_cores: int) -> int:
+    return n_cores + 1
+
+
+def _entry_payload(entry: DirectoryEntry, n_cores: int) -> int:
+    """N sharer bits + 1 state bit (stable-state representation)."""
+    if entry.sharers >> n_cores:
+        raise ValueError(f"sharer vector {entry.sharers:#x} wider than "
+                         f"{n_cores} cores")
+    state_bit = 1 if entry.state is DirState.S else 0
+    return state_bit << n_cores | entry.sharers
+
+
+def _entry_from_payload(payload: int, n_cores: int,
+                        block: int = 0) -> DirectoryEntry:
+    sharers = payload & (1 << n_cores) - 1
+    shared = bool(payload >> n_cores & 1)
+    if shared:
+        return DirectoryEntry(block, DirState.S, sharers=sharers)
+    owner = (sharers & -sharers).bit_length() - 1 if sharers else None
+    if owner is None:
+        raise ValueError("M/E payload with empty sharer vector")
+    return DirectoryEntry(block, DirState.ME, owner=owner, sharers=sharers)

@@ -1,0 +1,133 @@
+"""Home-memory housing of evicted directory entries (Section III-D).
+
+When a live fused/spilled entry is evicted from the LLC, ZeroDEV
+overwrites the *home memory copy* of the tracked block with the entry --
+safe because at least one private copy exists. The block's memory image is
+then *corrupted* until either (a) a real-data writeback of the block
+reaches memory, or (b) the last private copy is evicted, at which point
+the block is retrieved from the evicting core and restored.
+
+:class:`MemoryHousing` is the bookkeeping for one socket's view: which
+blocks currently house an entry (``housed``) and which memory images are
+garbage (``garbage``, a superset of ``housed``: an entry may be promoted
+back on-chip while the memory image remains corrupt).
+
+:class:`DirEvictBitmap` implements the paper's *solution 2* for
+socket-level directory eviction (Section III-D5): one DirEvict bit per
+memory block recording that the block's reserved partition holds an
+evicted socket-level entry, for a constant 0.2% DRAM overhead.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+from repro.coherence.entry import DirectoryEntry
+from repro.common.errors import ProtocolInvariantError
+
+
+class MemoryHousing:
+    """Tracks entry-housing and corruption state of home memory blocks."""
+
+    def __init__(self) -> None:
+        self._housed: Dict[int, DirectoryEntry] = {}
+        self._garbage: Set[int] = set()
+
+    # ------------------------------------------------------------------
+    def house(self, block: int, entry: DirectoryEntry) -> None:
+        """Overwrite ``block``'s memory image with ``entry``."""
+        if block in self._housed:
+            raise ProtocolInvariantError(
+                f"block {block:#x} already houses an entry")
+        self._housed[block] = entry
+        self._garbage.add(block)
+
+    def peek(self, block: int) -> Optional[DirectoryEntry]:
+        return self._housed.get(block)
+
+    def promote(self, block: int) -> DirectoryEntry:
+        """Remove the housed entry (being re-cached on chip). The memory
+        image stays garbage until real data is written."""
+        entry = self._housed.pop(block, None)
+        if entry is None:
+            raise ProtocolInvariantError(
+                f"no housed entry for block {block:#x}")
+        return entry
+
+    # ------------------------------------------------------------------
+    def is_garbage(self, block: int) -> bool:
+        return block in self._garbage
+
+    def heal(self, block: int) -> None:
+        """A real-data write reached memory: the image is valid again."""
+        self._garbage.discard(block)
+        if block in self._housed:
+            raise ProtocolInvariantError(
+                f"healing block {block:#x} while it still houses an entry")
+
+    def restore(self, block: int) -> None:
+        """Last private copy retrieved and written over the entry."""
+        self._housed.pop(block, None)
+        self._garbage.discard(block)
+
+    # ------------------------------------------------------------------
+    @property
+    def housed_count(self) -> int:
+        return len(self._housed)
+
+    @property
+    def garbage_count(self) -> int:
+        return len(self._garbage)
+
+    def housed_blocks(self):
+        return self._housed.keys()
+
+
+class DirEvictBitmap:
+    """Per-block DirEvict bits with a small on-chip bit cache.
+
+    The paper sizes an 8 KB cache to cover the DirEvict bits of 64K blocks
+    (4 MB of home memory). We model the cache as covering a contiguous
+    window of recently touched bit-groups; accesses outside the window
+    cost a memory lookup.
+    """
+
+    GROUP_BLOCKS = 512                # bits cached per 64-byte cache line
+
+    def __init__(self, cached_groups: int = 128) -> None:
+        self._bits: Set[int] = set()
+        self._cached_groups = cached_groups
+        self._resident: Dict[int, None] = {}   # ordered LRU of group ids
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    # ------------------------------------------------------------------
+    def _touch_group(self, block: int) -> bool:
+        """Returns True on a bit-cache hit."""
+        group = block // self.GROUP_BLOCKS
+        hit = group in self._resident
+        if hit:
+            self.cache_hits += 1
+            self._resident.pop(group)
+        else:
+            self.cache_misses += 1
+            if len(self._resident) >= self._cached_groups:
+                oldest = next(iter(self._resident))
+                self._resident.pop(oldest)
+        self._resident[group] = None
+        return hit
+
+    def set(self, block: int) -> bool:
+        self._bits.add(block)
+        return self._touch_group(block)
+
+    def clear(self, block: int) -> bool:
+        self._bits.discard(block)
+        return self._touch_group(block)
+
+    def test(self, block: int):
+        """Return (bit value, cache hit?)."""
+        return block in self._bits, self._touch_group(block)
+
+    def __len__(self) -> int:
+        return len(self._bits)

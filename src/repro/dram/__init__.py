@@ -1,0 +1,5 @@
+"""Main-memory model (DRAMSim2 substitute)."""
+
+from repro.dram.model import DramModel
+
+__all__ = ["DramModel"]

@@ -1,0 +1,17 @@
+"""Experiment harness: system construction, trace running, reporting."""
+
+from repro.harness.system_builder import build_system
+from repro.harness.runner import RunResult, run_workload
+from repro.harness.reporting import Row, Table, geomean
+from repro.harness.energy import EnergyModel, estimate_energy
+
+__all__ = [
+    "EnergyModel",
+    "Row",
+    "RunResult",
+    "Table",
+    "build_system",
+    "estimate_energy",
+    "geomean",
+    "run_workload",
+]

@@ -1,0 +1,123 @@
+"""Drive a workload through a simulated socket.
+
+The runner interleaves the per-core streams by simulated time: at each
+step the core with the smallest local clock issues its next reference.
+This gives a deterministic, contention-realistic global order without a
+cycle-by-cycle event loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.coherence.protocol import CMPSystem
+from repro.common.stats import SystemStats
+from repro.workloads.trace import OP_BY_CODE, Workload
+
+
+@dataclass
+class RunResult:
+    """Outcome of one workload run."""
+
+    workload: str
+    stats: SystemStats
+    system: CMPSystem
+
+    @property
+    def cycles(self) -> int:
+        return self.stats.total_cycles
+
+    @property
+    def per_core_cycles(self):
+        return list(self.stats.cycles)
+
+
+def run_workload(system: CMPSystem, workload: Workload,
+                 check_invariants_every: int = 0,
+                 sample_every: int = 0,
+                 sample_fn: Optional[Callable[[CMPSystem], None]] = None,
+                 warmup: int = 0) -> RunResult:
+    """Run ``workload`` to completion on ``system``.
+
+    ``check_invariants_every`` triggers a full invariant sweep every N
+    accesses (tests); ``sample_every``/``sample_fn`` support periodic
+    probes such as the directory-occupancy measurement of Figure 5;
+    ``warmup`` executes that many accesses to warm the caches and then
+    resets all statistics (the region-of-interest boundary).
+    """
+    traces = workload.traces
+    n = len(traces)
+    if n > system.config.n_cores:
+        raise ValueError(f"workload has {n} traces for "
+                         f"{system.config.n_cores} cores")
+    positions = [0] * n
+    lengths = [len(trace) for trace in traces]
+    remaining = sum(lengths)
+    if warmup >= remaining:
+        raise ValueError("warm-up longer than the workload")
+    cycles = system.stats.cycles
+    access = system.access
+    step = 0
+    while remaining:
+        if warmup and step == warmup:
+            system.stats.reset()
+            cycles = system.stats.cycles
+        core, best = -1, None
+        for i in range(n):
+            if positions[i] < lengths[i] and (best is None
+                                              or cycles[i] < best):
+                core, best = i, cycles[i]
+        trace = traces[core]
+        index = positions[core]
+        access(core, OP_BY_CODE[trace.ops[index]],
+               int(trace.addresses[index]))
+        positions[core] = index + 1
+        remaining -= 1
+        step += 1
+        if check_invariants_every and step % check_invariants_every == 0:
+            system.check_invariants()
+        if sample_every and sample_fn and step % sample_every == 0:
+            sample_fn(system)
+    if check_invariants_every:
+        system.check_invariants()
+    return RunResult(workload.name, system.stats, system)
+
+
+def run_multisocket_workload(system, workload: Workload,
+                             check_invariants_every: int = 0):
+    """Run a workload across every core of a multi-socket system.
+
+    Trace ``i`` maps to socket ``i // cores_per_socket``, core
+    ``i % cores_per_socket``. Returns the per-socket stats list.
+    """
+    per_socket = system.config.n_cores
+    traces = workload.traces
+    n = len(traces)
+    if n > per_socket * system.n_sockets:
+        raise ValueError("workload larger than the multi-socket system")
+    positions = [0] * n
+    lengths = [len(trace) for trace in traces]
+    clocks = [0] * n
+    remaining = sum(lengths)
+    step = 0
+    while remaining:
+        slot, best = -1, None
+        for i in range(n):
+            if positions[i] < lengths[i] and (best is None
+                                              or clocks[i] < best):
+                slot, best = i, clocks[i]
+        trace = traces[slot]
+        index = positions[slot]
+        socket, core = divmod(slot, per_socket)
+        system.access(socket, core, OP_BY_CODE[trace.ops[index]],
+                      int(trace.addresses[index]))
+        clocks[slot] = system.sockets[socket].stats.cycles[core]
+        positions[slot] = index + 1
+        remaining -= 1
+        step += 1
+        if check_invariants_every and step % check_invariants_every == 0:
+            system.check_invariants()
+    if check_invariants_every:
+        system.check_invariants()
+    return system.stats

@@ -1,0 +1,88 @@
+"""Generic parameter sweeps over system configurations.
+
+A :class:`Sweep` runs a fixed set of workloads across a family of
+configurations (one per parameter value), collecting speedups against a
+reference configuration and any requested counters. The sizing example
+and the ablation benches are built on this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence
+
+from repro.common.config import SystemConfig
+from repro.common.stats import weighted_speedup
+from repro.harness.reporting import geomean
+from repro.harness.runner import RunResult, run_workload
+from repro.harness.system_builder import build_system
+from repro.workloads.trace import Workload
+
+
+@dataclass
+class SweepPoint:
+    """Results at one parameter value."""
+
+    value: object
+    speedups: Dict[str, float] = field(default_factory=dict)
+    counters: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def geomean_speedup(self) -> float:
+        return geomean(list(self.speedups.values()))
+
+
+class Sweep:
+    """Run ``workloads`` over ``config_for(value)`` for each value.
+
+    Parameters
+    ----------
+    reference:
+        The configuration all speedups are normalized to.
+    config_for:
+        Maps a parameter value to the configuration under test.
+    counters:
+        Names of :class:`SystemStats` fields to accumulate per point.
+    multiprog:
+        Use weighted speedup (per-core ratios) instead of makespan.
+    """
+
+    def __init__(self, reference: SystemConfig,
+                 config_for: Callable[[object], SystemConfig],
+                 counters: Sequence[str] = (),
+                 multiprog: bool = False) -> None:
+        self._reference = reference
+        self._config_for = config_for
+        self._counters = tuple(counters)
+        self._multiprog = multiprog
+        self._baselines: Dict[str, RunResult] = {}
+
+    def _baseline(self, workload: Workload) -> RunResult:
+        result = self._baselines.get(workload.name)
+        if result is None:
+            result = run_workload(build_system(self._reference), workload)
+            self._baselines[workload.name] = result
+        return result
+
+    def run(self, values: Sequence[object],
+            workloads: Sequence[Workload]) -> List[SweepPoint]:
+        points = []
+        for value in values:
+            point = SweepPoint(value)
+            config = self._config_for(value)
+            for workload in workloads:
+                base = self._baseline(workload)
+                result = run_workload(build_system(config), workload)
+                if self._multiprog:
+                    speedup = weighted_speedup(base.per_core_cycles,
+                                               result.per_core_cycles)
+                else:
+                    speedup = (base.cycles / result.cycles
+                               if result.cycles else 1.0)
+                point.speedups[workload.name] = speedup
+                for counter in self._counters:
+                    point.counters[counter] = (
+                        point.counters.get(counter, 0)
+                        + getattr(result.stats, counter))
+            points.append(point)
+        return points

@@ -1,0 +1,39 @@
+"""Construct a simulated socket from a :class:`SystemConfig`.
+
+Dispatches on ``config.protocol`` and right-sizes the mesh when the core
+and bank count outgrow the Table I default (the 128-core server socket).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.coherence.protocol import CMPSystem
+from repro.common.config import MeshConfig, Protocol, SystemConfig
+
+
+def _mesh_for(config: SystemConfig) -> MeshConfig:
+    needed = config.n_cores + config.llc_banks
+    mesh = config.mesh
+    if mesh.width * mesh.height >= needed:
+        return mesh
+    width = math.ceil(math.sqrt(needed))
+    height = math.ceil(needed / width)
+    return MeshConfig(width=width, height=height)
+
+
+def build_system(config: SystemConfig) -> CMPSystem:
+    """Build the system implementing ``config.protocol``."""
+    config = config.with_(mesh=_mesh_for(config))
+    if config.protocol is Protocol.BASELINE:
+        return CMPSystem(config)
+    if config.protocol is Protocol.ZERODEV:
+        from repro.core.protocol import ZeroDEVSystem
+        return ZeroDEVSystem(config)
+    if config.protocol is Protocol.SECDIR:
+        from repro.baselines.secdir import SecDirSystem
+        return SecDirSystem(config)
+    if config.protocol is Protocol.MGD:
+        from repro.baselines.mgd import MgDSystem
+        return MgDSystem(config)
+    raise ValueError(f"unknown protocol {config.protocol!r}")

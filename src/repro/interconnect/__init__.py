@@ -1,0 +1,5 @@
+"""On-chip interconnect models."""
+
+from repro.interconnect.mesh import Mesh
+
+__all__ = ["Mesh"]

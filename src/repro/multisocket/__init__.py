@@ -1,0 +1,5 @@
+"""Multi-socket composition: socket-level MESI with ZeroDEV extensions."""
+
+from repro.multisocket.system import MultiSocketSystem, SocketEntry
+
+__all__ = ["MultiSocketSystem", "SocketEntry"]

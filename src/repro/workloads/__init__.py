@@ -1,0 +1,28 @@
+"""Workload generation: synthetic traces with per-application profiles."""
+
+from repro.workloads.trace import CoreTrace, Op, TraceEvent, Workload
+from repro.workloads.synthetic import AppProfile, SharingPattern, generate
+from repro.workloads.suites import (
+    SUITES,
+    suite_profiles,
+    make_multithreaded,
+    make_rate_workload,
+    make_heterogeneous_mixes,
+    make_server_workload,
+)
+
+__all__ = [
+    "AppProfile",
+    "CoreTrace",
+    "Op",
+    "SUITES",
+    "SharingPattern",
+    "TraceEvent",
+    "Workload",
+    "generate",
+    "make_heterogeneous_mixes",
+    "make_multithreaded",
+    "make_rate_workload",
+    "make_server_workload",
+    "suite_profiles",
+]

@@ -1,0 +1,300 @@
+"""Application-suite profiles (Table II) and workload-mix builders.
+
+Each named profile is a synthetic stand-in for the corresponding benchmark
+in the paper's evaluation, characterized by the quantities that drive the
+figures: working-set sizes relative to the cache hierarchy, sharing
+fraction and pattern, write intensity, code footprint, and locality. The
+suite averages for the fraction of directory entries tracking shared
+blocks (Section III-C2: PARSEC ~10%, SPLASH2X ~19%, SPEC OMP ~0.5%, FFTW
+~0, CPU2017-rate ~9% -- from shared code) anchor the calibration.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.common.config import SystemConfig
+from repro.workloads.synthetic import AppProfile, SharingPattern, generate
+from repro.workloads.trace import CoreTrace, Workload
+
+_P = AppProfile
+_SP = SharingPattern
+
+
+def _parsec() -> List[AppProfile]:
+    return [
+        _P("blackscholes", ws_private_x_l2=0.8, ws_shared_x_llc=0.01,
+           shared_fraction=0.03, locality=0.85),
+        _P("canneal", ws_private_x_l2=8.0, ws_shared_x_llc=0.30,
+           shared_fraction=0.18, locality=0.35, write_fraction=0.15,
+           pattern=_SP.READ_SHARED),
+        _P("dedup", ws_private_x_l2=3.0, ws_shared_x_llc=0.10,
+           shared_fraction=0.15, pattern=_SP.PRODUCER_CONSUMER,
+           shared_write_fraction=0.3),
+        _P("facesim", ws_private_x_l2=5.0, ws_shared_x_llc=0.08,
+           shared_fraction=0.08, locality=0.6),
+        _P("ferret", ws_private_x_l2=3.5, ws_shared_x_llc=0.08,
+           shared_fraction=0.12, pattern=_SP.PRODUCER_CONSUMER),
+        _P("fluidanimate", ws_private_x_l2=2.5, ws_shared_x_llc=0.06,
+           shared_fraction=0.10, pattern=_SP.MIXED,
+           shared_write_fraction=0.25),
+        _P("freqmine", ws_private_x_l2=1.2, ws_shared_x_llc=0.15,
+           shared_fraction=0.30, pattern=_SP.MIGRATORY,
+           migratory_run=4, locality=0.75),
+        _P("streamcluster", ws_private_x_l2=1.5, ws_shared_x_llc=0.25,
+           shared_fraction=0.35, pattern=_SP.READ_SHARED,
+           shared_write_fraction=0.02, locality=0.5),
+        _P("swaptions", ws_private_x_l2=0.6, ws_shared_x_llc=0.01,
+           shared_fraction=0.02, locality=0.9),
+        # vips streams a working set that just fits the 16-way LLC:
+        # the most LLC-capacity-sensitive PARSEC app (Figure 6: -14%
+        # with two ways removed).
+        _P("vips", ws_private_x_l2=4.0, ws_shared_x_llc=0.04,
+           shared_fraction=0.05, locality=0.5, hot_fraction=0.85,
+           write_fraction=0.35),
+    ]
+
+
+def _splash2x() -> List[AppProfile]:
+    return [
+        _P("fft", ws_private_x_l2=4.0, ws_shared_x_llc=0.30,
+           shared_fraction=0.35, pattern=_SP.READ_SHARED,
+           shared_write_fraction=0.15, locality=0.5),
+        _P("lu_cb", ws_private_x_l2=2.0, ws_shared_x_llc=0.25,
+           shared_fraction=0.30, pattern=_SP.READ_SHARED,
+           shared_write_fraction=0.08, locality=0.7),
+        # lu_ncb (no blocking): LLC-capacity sensitive (Figure 6:
+        # -9% at 14 ways, -17% at 12 ways).
+        _P("lu_ncb", ws_private_x_l2=4.5, ws_shared_x_llc=0.25,
+           shared_fraction=0.25, pattern=_SP.READ_SHARED,
+           shared_write_fraction=0.10, locality=0.5,
+           hot_fraction=0.65),
+        _P("radix", ws_private_x_l2=6.0, ws_shared_x_llc=0.25,
+           shared_fraction=0.25, pattern=_SP.PRODUCER_CONSUMER,
+           locality=0.35, write_fraction=0.4),
+        _P("ocean_cp", ws_private_x_l2=8.0, ws_shared_x_llc=0.45,
+           shared_fraction=0.32, pattern=_SP.READ_SHARED,
+           shared_write_fraction=0.2, locality=0.4),
+        _P("radiosity", ws_private_x_l2=2.5, ws_shared_x_llc=0.20,
+           shared_fraction=0.30, pattern=_SP.MIXED),
+        _P("raytrace", ws_private_x_l2=2.0, ws_shared_x_llc=0.30,
+           shared_fraction=0.40, pattern=_SP.READ_SHARED,
+           shared_write_fraction=0.03, locality=0.6),
+        _P("water_nsquared", ws_private_x_l2=1.5, ws_shared_x_llc=0.18,
+           shared_fraction=0.35, pattern=_SP.MIGRATORY, migratory_run=8),
+        _P("water_spatial", ws_private_x_l2=1.5, ws_shared_x_llc=0.15,
+           shared_fraction=0.28, pattern=_SP.MIXED),
+    ]
+
+
+def _specomp() -> List[AppProfile]:
+    # OpenMP codes partition their grids: almost all accesses private.
+    return [
+        _P("312.swim", ws_private_x_l2=8.0, ws_shared_x_llc=0.02,
+           shared_fraction=0.01, locality=0.3, write_fraction=0.35),
+        _P("314.mgrid", ws_private_x_l2=6.0, ws_shared_x_llc=0.02,
+           shared_fraction=0.01, locality=0.45),
+        _P("316.applu", ws_private_x_l2=5.0, ws_shared_x_llc=0.02,
+           shared_fraction=0.015, locality=0.5),
+        _P("320.equake", ws_private_x_l2=4.0, ws_shared_x_llc=0.03,
+           shared_fraction=0.02, locality=0.55),
+        _P("324.apsi", ws_private_x_l2=3.0, ws_shared_x_llc=0.02,
+           shared_fraction=0.01, locality=0.6),
+        # 330.art: the LLC-sensitive SPEC OMP code (Figure 6: -6%
+        # at 14 ways, -14% at 12 ways).
+        _P("330.art", ws_private_x_l2=4.5, ws_shared_x_llc=0.03,
+           shared_fraction=0.02, locality=0.5, hot_fraction=0.55,
+           write_fraction=0.2),
+    ]
+
+
+def _fftw() -> List[AppProfile]:
+    # FFTW alternates butterfly-compute phases (good locality) with
+    # transpose phases (streaming, low locality, write-heavy) -- the
+    # structure that makes it LLC-capacity sensitive (Figure 22).
+    return [
+        _P("fftw", ws_private_x_l2=6.0, ws_shared_x_llc=0.02,
+           shared_fraction=0.005, locality=0.45, write_fraction=0.4,
+           phases=(
+               (3, {"locality": 0.7, "write_fraction": 0.3}),
+               (1, {"locality": 0.25, "write_fraction": 0.55}),
+               (3, {"locality": 0.7, "write_fraction": 0.3}),
+               (1, {"locality": 0.25, "write_fraction": 0.55}),
+           )),
+    ]
+
+
+def _cpu2017() -> List[AppProfile]:
+    """SPEC CPU 2017 profiles (single-threaded; run in rate/het mixes)."""
+    return [
+        _P("blender", ws_private_x_l2=3.0, code_x_l1i=3.0, locality=0.6),
+        _P("bwaves.1", ws_private_x_l2=7.0, locality=0.35,
+           write_fraction=0.25),
+        _P("bwaves.2", ws_private_x_l2=7.0, locality=0.37,
+           write_fraction=0.25),
+        _P("bwaves.3", ws_private_x_l2=6.5, locality=0.36,
+           write_fraction=0.25),
+        _P("bwaves.4", ws_private_x_l2=6.8, locality=0.34,
+           write_fraction=0.25),
+        _P("cactuBSSN", ws_private_x_l2=5.0, locality=0.5),
+        _P("cam4", ws_private_x_l2=4.0, code_x_l1i=4.0, locality=0.55),
+        _P("deepsjeng", ws_private_x_l2=2.0, code_x_l1i=1.5,
+           locality=0.75),
+        _P("exchange2", ws_private_x_l2=0.5, code_x_l1i=1.2,
+           locality=0.92),
+        _P("fotonik3d", ws_private_x_l2=7.5, locality=0.3,
+           write_fraction=0.3),
+        _P("gcc.pp", ws_private_x_l2=3.0, code_x_l1i=5.0, locality=0.6),
+        # gcc.ppO2: the LLC-sensitive rate workload (Figure 6: -5%
+        # at 14 ways, -9% at 12 ways).
+        _P("gcc.ppO2", ws_private_x_l2=3.8, code_x_l1i=5.0,
+           locality=0.52, hot_fraction=0.5),
+        _P("gcc.ref32", ws_private_x_l2=3.2, code_x_l1i=5.0,
+           locality=0.58),
+        _P("gcc.ref32O5", ws_private_x_l2=3.5, code_x_l1i=5.0,
+           locality=0.55),
+        _P("gcc.smaller", ws_private_x_l2=2.5, code_x_l1i=4.5,
+           locality=0.62),
+        _P("imagick", ws_private_x_l2=1.0, locality=0.85),
+        _P("lbm", ws_private_x_l2=8.0, locality=0.3, write_fraction=0.45),
+        _P("leela", ws_private_x_l2=1.2, locality=0.8),
+        _P("mcf", ws_private_x_l2=9.0, locality=0.3, write_fraction=0.3),
+        _P("nab", ws_private_x_l2=1.5, locality=0.75),
+        _P("namd", ws_private_x_l2=1.8, locality=0.72),
+        _P("omnetpp", ws_private_x_l2=6.0, code_x_l1i=2.5, locality=0.4),
+        _P("parest", ws_private_x_l2=4.0, locality=0.55),
+        _P("perl.check", ws_private_x_l2=2.0, code_x_l1i=4.0,
+           locality=0.68),
+        _P("perl.diff", ws_private_x_l2=2.2, code_x_l1i=4.0,
+           locality=0.66),
+        _P("perl.split", ws_private_x_l2=2.1, code_x_l1i=4.0,
+           locality=0.67),
+        _P("povray", ws_private_x_l2=0.8, code_x_l1i=2.0, locality=0.88),
+        _P("roms", ws_private_x_l2=5.5, locality=0.42),
+        _P("wrf", ws_private_x_l2=4.5, code_x_l1i=3.5, locality=0.5),
+        _P("x264.pass1", ws_private_x_l2=2.0, locality=0.7),
+        _P("x264.pass2", ws_private_x_l2=2.2, locality=0.68),
+        _P("x264.seek500", ws_private_x_l2=2.4, locality=0.66),
+        _P("xalancbmk", ws_private_x_l2=5.0, code_x_l1i=4.5,
+           locality=0.38, write_fraction=0.25),
+        _P("xz.cld", ws_private_x_l2=3.5, locality=0.5),
+        _P("xz.docs", ws_private_x_l2=3.0, locality=0.55),
+        _P("xz.combined", ws_private_x_l2=3.8, locality=0.48),
+    ]
+
+
+def _server() -> List[AppProfile]:
+    """Throughput server workloads: huge code, big heaps, real sharing."""
+    common = dict(code_fraction=0.30, code_x_l1i=8.0,
+                  pattern=_SP.PRODUCER_CONSUMER,
+                  shared_write_fraction=0.2)
+    return [
+        _P("SPECjbb", ws_private_x_l2=4.0, ws_shared_x_llc=0.20,
+           shared_fraction=0.15, locality=0.5, **common),
+        _P("SPECWeb-B", ws_private_x_l2=3.0, ws_shared_x_llc=0.15,
+           shared_fraction=0.12, locality=0.55, **common),
+        _P("SPECWeb-E", ws_private_x_l2=3.2, ws_shared_x_llc=0.15,
+           shared_fraction=0.13, locality=0.53, **common),
+        _P("SPECWeb-S", ws_private_x_l2=3.5, ws_shared_x_llc=0.18,
+           shared_fraction=0.14, locality=0.5, **common),
+        _P("TPC-C", ws_private_x_l2=5.0, ws_shared_x_llc=0.25,
+           shared_fraction=0.18, locality=0.45, **common),
+        _P("TPC-E", ws_private_x_l2=5.5, ws_shared_x_llc=0.22,
+           shared_fraction=0.16, locality=0.47, **common),
+        _P("TPC-H", ws_private_x_l2=7.0, ws_shared_x_llc=0.30,
+           shared_fraction=0.20, locality=0.35, **common),
+    ]
+
+
+SUITES: Dict[str, List[AppProfile]] = {
+    "PARSEC": _parsec(),
+    "SPLASH2X": _splash2x(),
+    "SPECOMP": _specomp(),
+    "FFTW": _fftw(),
+    "CPU2017": _cpu2017(),
+    "SERVER": _server(),
+}
+
+
+def suite_profiles(suite: str) -> List[AppProfile]:
+    """The profiles of one suite, by name (KeyError-checked)."""
+    try:
+        return SUITES[suite]
+    except KeyError:
+        raise KeyError(f"unknown suite {suite!r}; "
+                       f"choose from {sorted(SUITES)}") from None
+
+
+def find_profile(name: str) -> AppProfile:
+    """Locate a profile by application name across all suites."""
+    for profiles in SUITES.values():
+        for profile in profiles:
+            if profile.name == name:
+                return profile
+    raise KeyError(f"unknown application {name!r}")
+
+
+# ----------------------------------------------------------------------
+# Workload-mix builders
+# ----------------------------------------------------------------------
+def make_multithreaded(profile: AppProfile, config: SystemConfig,
+                       accesses_per_core: int, seed: int = 0) -> Workload:
+    """One multi-threaded application on every core of the socket."""
+    traces = generate(profile, config, accesses_per_core, seed)
+    return Workload(profile.name, traces)
+
+
+def make_rate_workload(profile: AppProfile, config: SystemConfig,
+                       accesses_per_core: int, seed: int = 0) -> Workload:
+    """Homogeneous (rate) multi-programming: one copy per core.
+
+    Data spaces are disjoint per copy; the *code* region is shared across
+    the copies (same binary), which is what populates the directory with
+    S-state entries for SPEC-rate workloads (Section III-C2).
+    """
+    traces: List[CoreTrace] = []
+    for core in range(config.n_cores):
+        traces.extend(generate(profile, config, accesses_per_core,
+                               seed=seed, single_thread_core=core,
+                               instance=core))
+    return Workload(f"{profile.name}.rate", traces)
+
+
+def make_heterogeneous_mixes(config: SystemConfig, n_mixes: int,
+                             accesses_per_core: int,
+                             seed: int = 0) -> List[Workload]:
+    """Heterogeneous multi-programmed mixes W1..Wn over CPU2017 apps.
+
+    Applications are dealt round-robin from a shuffled deck so every app
+    has equal representation across the mixes (Section IV).
+    """
+    apps = suite_profiles("CPU2017")
+    rng = np.random.default_rng(seed)
+    deck: List[AppProfile] = []
+    mixes: List[Workload] = []
+    for index in range(n_mixes):
+        chosen: List[AppProfile] = []
+        while len(chosen) < config.n_cores:
+            if not deck:
+                deck = list(apps)
+                rng.shuffle(deck)  # type: ignore[arg-type]
+            candidate = deck.pop()
+            if candidate not in chosen:
+                chosen.append(candidate)
+        traces = []
+        for core, profile in enumerate(chosen):
+            traces.extend(generate(
+                profile, config, accesses_per_core, seed=seed + index,
+                single_thread_core=core, instance=core))
+        mixes.append(Workload(f"W{index + 1}", traces))
+    return mixes
+
+
+def make_server_workload(profile: AppProfile, config: SystemConfig,
+                         accesses_per_core: int, seed: int = 0
+                         ) -> Workload:
+    """A throughput server workload across all cores of a big socket."""
+    traces = generate(profile, config, accesses_per_core, seed)
+    return Workload(profile.name, traces)

@@ -1,0 +1,109 @@
+"""Memory-access trace primitives.
+
+A workload is a set of per-core access streams. For speed the streams are
+stored as parallel numpy arrays (op codes and byte addresses); the runner
+consumes the arrays directly, while :class:`TraceEvent` offers a friendly
+per-event view for tests and examples.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Sequence
+
+import numpy as np
+
+
+class Op(enum.Enum):
+    """Memory operations issued by a core."""
+
+    READ = 0
+    WRITE = 1
+    IFETCH = 2
+
+
+#: Op lookup by integer code (the array representation).
+OP_BY_CODE = (Op.READ, Op.WRITE, Op.IFETCH)
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One memory reference."""
+
+    op: Op
+    address: int
+
+
+class CoreTrace:
+    """The ordered reference stream of a single core (array-backed)."""
+
+    def __init__(self, core: int, ops: np.ndarray,
+                 addresses: np.ndarray) -> None:
+        if len(ops) != len(addresses):
+            raise ValueError("ops and addresses lengths differ")
+        self.core = core
+        self.ops = np.asarray(ops, dtype=np.int8)
+        self.addresses = np.asarray(addresses, dtype=np.int64)
+
+    @classmethod
+    def from_events(cls, core: int,
+                    events: Iterable[TraceEvent]) -> "CoreTrace":
+        events = list(events)
+        ops = np.array([e.op.value for e in events], dtype=np.int8)
+        addresses = np.array([e.address for e in events], dtype=np.int64)
+        return cls(core, ops, addresses)
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        for code, address in zip(self.ops, self.addresses):
+            yield TraceEvent(OP_BY_CODE[code], int(address))
+
+    def event(self, index: int) -> TraceEvent:
+        return TraceEvent(OP_BY_CODE[self.ops[index]],
+                          int(self.addresses[index]))
+
+
+class Workload:
+    """A named bundle of per-core traces."""
+
+    def __init__(self, name: str, traces: Sequence[CoreTrace]) -> None:
+        self.name = name
+        self.traces: List[CoreTrace] = list(traces)
+
+    @property
+    def n_cores(self) -> int:
+        return len(self.traces)
+
+    @property
+    def total_accesses(self) -> int:
+        return sum(len(trace) for trace in self.traces)
+
+    def __repr__(self) -> str:
+        return (f"Workload({self.name!r}, cores={self.n_cores}, "
+                f"accesses={self.total_accesses})")
+
+    # ------------------------------------------------------------------
+    # Persistence: exchangeable .npz trace bundles
+    # ------------------------------------------------------------------
+    def save(self, path) -> None:
+        """Serialize the workload to an ``.npz`` trace bundle."""
+        arrays = {"name": np.array(self.name),
+                  "cores": np.array([t.core for t in self.traces])}
+        for index, trace in enumerate(self.traces):
+            arrays[f"ops_{index}"] = trace.ops
+            arrays[f"addresses_{index}"] = trace.addresses
+        np.savez_compressed(path, **arrays)
+
+    @classmethod
+    def load(cls, path) -> "Workload":
+        """Load a workload previously written by :meth:`save`."""
+        with np.load(path) as data:
+            name = str(data["name"])
+            cores = data["cores"]
+            traces = [CoreTrace(int(core), data[f"ops_{index}"],
+                                data[f"addresses_{index}"])
+                      for index, core in enumerate(cores)]
+        return cls(name, traces)

@@ -1,0 +1,78 @@
+"""Unit tests for block/bank/set address arithmetic."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.addressing import (AddressMapper, BLOCK_BYTES,
+                                     address_of, block_of, set_index)
+
+
+class TestBlockConversion:
+    def test_block_of_start_of_block(self):
+        assert block_of(0) == 0
+        assert block_of(64) == 1
+
+    def test_block_of_mid_block(self):
+        assert block_of(63) == 0
+        assert block_of(65) == 1
+
+    def test_address_of_is_inverse_on_aligned(self):
+        assert address_of(block_of(128)) == 128
+
+    def test_block_bytes_constant(self):
+        assert BLOCK_BYTES == 64
+
+    @given(st.integers(min_value=0, max_value=2**48))
+    def test_roundtrip_property(self, address):
+        block = block_of(address)
+        assert address_of(block) <= address < address_of(block + 1)
+
+
+class TestAddressMapper:
+    def test_bank_interleaving(self):
+        mapper = AddressMapper(n_banks=8, sets_per_bank=64)
+        assert [mapper.bank_of(b) for b in range(10)] == [
+            0, 1, 2, 3, 4, 5, 6, 7, 0, 1]
+
+    def test_set_uses_bits_above_bank(self):
+        mapper = AddressMapper(n_banks=8, sets_per_bank=64)
+        assert mapper.set_of(0) == 0
+        assert mapper.set_of(8) == 1
+        assert mapper.set_of(8 * 64) == 0     # wraps after 64 sets
+
+    def test_tag_above_bank_and_set(self):
+        mapper = AddressMapper(n_banks=8, sets_per_bank=64)
+        assert mapper.tag_of(8 * 64) == 1
+
+    def test_single_bank(self):
+        mapper = AddressMapper(n_banks=1, sets_per_bank=4)
+        assert mapper.bank_of(123) == 0
+        assert mapper.set_of(5) == 1
+
+    def test_rejects_non_power_of_two_banks(self):
+        with pytest.raises(ValueError):
+            AddressMapper(n_banks=3, sets_per_bank=4)
+
+    def test_rejects_zero_sets(self):
+        with pytest.raises(ValueError):
+            AddressMapper(n_banks=2, sets_per_bank=0)
+
+    @given(st.integers(min_value=0, max_value=2**40),
+           st.sampled_from([1, 2, 4, 8]),
+           st.sampled_from([4, 16, 64]))
+    def test_bank_set_tag_reconstruct(self, block, banks, sets):
+        mapper = AddressMapper(banks, sets)
+        bank_bits = banks.bit_length() - 1
+        set_bits = sets.bit_length() - 1
+        rebuilt = (mapper.tag_of(block) << (bank_bits + set_bits)
+                   | mapper.set_of(block) << bank_bits
+                   | mapper.bank_of(block))
+        assert rebuilt == block
+
+
+class TestSetIndex:
+    def test_low_bits(self):
+        assert set_index(0b101101, 8) == 0b101
+
+    def test_single_set(self):
+        assert set_index(12345, 1) == 0

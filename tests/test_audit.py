@@ -1,0 +1,69 @@
+"""Tests for the protocol audit log."""
+
+import pytest
+
+from repro.coherence.audit import AuditLog
+from repro.common.config import DirectoryConfig
+from repro.harness.system_builder import build_system
+
+from tests.conftest import drive, tiny_config, zerodev_config
+
+
+class TestAuditLog:
+    def test_records_accesses(self, baseline):
+        with AuditLog(baseline) as log:
+            drive(baseline, [(0, "R", 5), (1, "W", 5)])
+            accesses = log.of_kind("access")
+            assert len(accesses) == 2
+            assert "core=0" in accesses[0].detail
+            assert "WRITE" in accesses[1].detail
+
+    def test_records_entry_allocation(self, baseline):
+        with AuditLog(baseline) as log:
+            drive(baseline, [(0, "R", 5)])
+            allocs = log.of_kind("entry-alloc")
+            assert len(allocs) == 1
+            assert "0x5" in allocs[0].detail
+
+    def test_records_devs(self):
+        system = build_system(tiny_config(
+            directory=DirectoryConfig(ratio=0.125)))
+        with AuditLog(system) as log:
+            drive(system, [(0, "R", 2 * k) for k in range(9)])
+            assert log.of_kind("DEV")
+
+    def test_records_notices(self, baseline):
+        with AuditLog(baseline) as log:
+            drive(baseline, [(0, "R", 8 * k) for k in range(5)])
+            assert log.of_kind("notice")
+
+    def test_ring_buffer_bounded(self, baseline):
+        with AuditLog(baseline, capacity=10) as log:
+            drive(baseline, [(0, "R", k) for k in range(30)])
+            assert len(log.events) == 10
+
+    def test_detach_restores(self, baseline):
+        log = AuditLog(baseline)
+        log.detach()
+        before = len(log.events)
+        drive(baseline, [(0, "R", 5)])
+        assert len(log.events) == before
+
+    def test_render_tail(self, zerodev):
+        with AuditLog(zerodev) as log:
+            drive(zerodev, [(0, "R", 5), (1, "R", 5)])
+            text = log.render(5)
+            assert "access" in text and "#" in text
+
+    def test_works_on_zerodev(self, zerodev):
+        with AuditLog(zerodev) as log:
+            drive(zerodev, [(0, "R", 5), (1, "R", 5), (1, "W", 5)])
+            kinds = {event.kind for event in log.events}
+            assert "entry-alloc" in kinds
+            assert zerodev.stats.dev_invalidations == 0
+
+    def test_events_ordered_by_step(self, baseline):
+        with AuditLog(baseline) as log:
+            drive(baseline, [(0, "R", 5), (1, "R", 7)])
+            steps = [event.step for event in log.events]
+            assert steps == sorted(steps)

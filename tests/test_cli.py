@@ -1,0 +1,89 @@
+"""Tests for the command-line interface and trace persistence."""
+
+import numpy as np
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+from repro.workloads import make_multithreaded
+from repro.workloads.trace import Workload
+from repro.workloads.suites import find_profile
+
+from tests.conftest import tiny_config
+
+
+class TestTracePersistence:
+    def test_save_load_roundtrip(self, tmp_path):
+        workload = make_multithreaded(find_profile("canneal"),
+                                      tiny_config(), 300, seed=9)
+        path = tmp_path / "trace.npz"
+        workload.save(path)
+        loaded = Workload.load(path)
+        assert loaded.name == workload.name
+        assert loaded.n_cores == workload.n_cores
+        for a, b in zip(workload.traces, loaded.traces):
+            assert a.core == b.core
+            assert np.array_equal(a.ops, b.ops)
+            assert np.array_equal(a.addresses, b.addresses)
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig19" in out and "PARSEC" in out and "freqmine" in out
+
+    def test_every_experiment_registered(self):
+        expected = {"fig2", "fig3", "fig4", "fig5", "fig6", "fig17",
+                    "fig18", "fig19", "fig20", "fig21", "fig22", "fig23",
+                    "fig24", "fig25", "fig26", "fig27", "energy",
+                    "multisocket"}
+        assert set(EXPERIMENTS) == expected
+
+    def test_demo(self, capsys):
+        assert main(["demo", "--app", "swaptions",
+                     "--accesses", "500"]) == 0
+        out = capsys.readouterr().out
+        assert "0 DEVs" in out and "speedup" in out
+
+    def test_run_figure(self, capsys, monkeypatch):
+        monkeypatch.chdir  # keep results/ writes relative to repo root
+        assert main(["run", "fig19", "--accesses", "300"]) == 0
+        out = capsys.readouterr().out
+        assert "ZeroDEV speedup vs baseline" in out
+        assert "PARSEC NoDir GEOMEAN" in out
+
+    def test_trace_then_simulate(self, capsys, tmp_path):
+        path = str(tmp_path / "t.npz")
+        assert main(["trace", "leela", path, "--accesses", "300",
+                     "--rate"]) == 0
+        assert main(["simulate", path, "--protocol", "zerodev"]) == 0
+        out = capsys.readouterr().out
+        assert "dev_invalidations" in out
+
+    def test_simulate_baseline(self, capsys, tmp_path):
+        path = str(tmp_path / "t.npz")
+        main(["trace", "povray", path, "--accesses", "200"])
+        assert main(["simulate", path, "--protocol", "baseline",
+                     "--ratio", "1.0"]) == 0
+
+    def test_parser_rejects_unknown_figure(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig99"])
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_verify_command(self, capsys):
+        assert main(["verify", "--depth", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "all invariants hold" in out
+
+    def test_verify_baseline(self, capsys):
+        assert main(["verify", "--protocol", "baseline",
+                     "--depth", "2"]) == 0
+
+    def test_report_command(self, capsys):
+        assert main(["report"]) == 0
+        out = capsys.readouterr().out
+        assert "EXPERIMENTS.md" in out

@@ -1,0 +1,135 @@
+"""Unit tests for directory entries and the sparse directory (NRU)."""
+
+import pytest
+
+from repro.coherence.directory import SparseDirectory
+from repro.coherence.entry import DirectoryEntry, DirState, EntryLocation
+from repro.common.errors import ProtocolInvariantError
+
+
+def me_entry(block, owner=0):
+    return DirectoryEntry(block, DirState.ME, owner=owner)
+
+
+def s_entry(block, sharers):
+    return DirectoryEntry(block, DirState.S, sharers=sharers)
+
+
+class TestDirectoryEntry:
+    def test_me_entry_owner_is_sharer(self):
+        entry = me_entry(1, owner=3)
+        assert entry.is_sharer(3)
+        assert entry.sharer_count == 1
+
+    def test_me_without_owner_rejected(self):
+        with pytest.raises(ProtocolInvariantError):
+            DirectoryEntry(1, DirState.ME)
+
+    def test_add_remove_sharer(self):
+        entry = s_entry(1, 0b0010)
+        entry.add_sharer(3)
+        assert sorted(entry.sharer_cores()) == [1, 3]
+        entry.remove_sharer(1)
+        assert list(entry.sharer_cores()) == [3]
+        assert not entry.empty
+        entry.remove_sharer(3)
+        assert entry.empty
+
+    def test_remove_non_sharer_raises(self):
+        with pytest.raises(ProtocolInvariantError):
+            s_entry(1, 0b1).remove_sharer(3)
+
+    def test_remove_owner_clears_owner(self):
+        entry = me_entry(1, owner=2)
+        entry.remove_sharer(2)
+        assert entry.owner is None and entry.empty
+
+    def test_make_owned_and_shared(self):
+        entry = s_entry(1, 0b111)
+        entry.make_owned(2)
+        assert entry.state is DirState.ME
+        assert entry.owner == 2
+        assert list(entry.sharer_cores()) == [2]
+        entry.make_shared()
+        assert entry.state is DirState.S and entry.owner is None
+
+    def test_any_sharer_excludes(self):
+        entry = s_entry(1, 0b101)
+        assert entry.any_sharer(exclude=0) == 2
+        assert entry.any_sharer() == 0
+
+    def test_any_sharer_none_raises(self):
+        with pytest.raises(ProtocolInvariantError):
+            s_entry(1, 0b1).any_sharer(exclude=0)
+
+    def test_storage_bits(self):
+        assert me_entry(1).storage_bits(8) == 9
+
+
+class TestSparseDirectory:
+    def make(self, entries=16, ways=4, **kw):
+        return SparseDirectory(entries, ways, **kw)
+
+    def test_insert_lookup_remove(self):
+        directory = self.make()
+        directory.insert(me_entry(5))
+        assert directory.lookup(5).block == 5
+        assert directory.peek(5) is directory.lookup(5)
+        directory.remove(5)
+        assert directory.lookup(5) is None
+
+    def test_remove_missing_raises(self):
+        with pytest.raises(ProtocolInvariantError):
+            self.make().remove(5)
+
+    def test_duplicate_insert_raises(self):
+        directory = self.make()
+        directory.insert(me_entry(5))
+        with pytest.raises(ProtocolInvariantError):
+            directory.insert(me_entry(5))
+
+    def test_has_room_per_set(self):
+        directory = self.make(entries=8, ways=2)   # 4 sets
+        directory.insert(me_entry(0))
+        directory.insert(me_entry(4))
+        assert not directory.has_room(8)    # set 0 full
+        assert directory.has_room(1)
+
+    def test_insert_full_set_raises(self):
+        directory = self.make(entries=8, ways=2)
+        directory.insert(me_entry(0))
+        directory.insert(me_entry(4))
+        with pytest.raises(ProtocolInvariantError):
+            directory.insert(me_entry(8))
+
+    def test_nru_victim_prefers_unreferenced(self):
+        directory = self.make(entries=8, ways=2)
+        directory.insert(me_entry(0))
+        directory.insert(me_entry(4))
+        directory.lookup(4)                # both now referenced
+        victim = directory.choose_victim(8)
+        # All referenced: bits cleared, first way chosen.
+        assert victim.block == 0
+        directory.lookup(0)                # re-reference 0 only
+        assert directory.choose_victim(8).block == 4
+
+    def test_unbounded_never_full(self):
+        directory = self.make(unbounded=True)
+        for block in range(1000):
+            assert directory.has_room(block)
+            directory.insert(me_entry(block))
+        assert len(directory) == 1000
+        with pytest.raises(ProtocolInvariantError):
+            directory.choose_victim(0)
+
+    def test_replacement_disabled_refuses_victims(self):
+        directory = self.make(replacement_disabled=True)
+        with pytest.raises(ProtocolInvariantError):
+            directory.choose_victim(0)
+
+    def test_insert_sets_location(self):
+        directory = self.make()
+        entry = me_entry(3)
+        entry.location = EntryLocation.MEMORY
+        directory.insert(entry)
+        assert entry.location is EntryLocation.SPARSE

@@ -1,0 +1,118 @@
+"""Error-path and guard-rail tests: the invariant machinery itself.
+
+A protocol checker is only trustworthy if its guards actually fire;
+these tests corrupt state deliberately and assert the right error
+surfaces.
+"""
+
+import pytest
+
+from repro.caches.block import LineKind, MESI
+from repro.coherence.entry import DirState, EntryLocation
+from repro.coherence.shadow import ShadowMemory
+from repro.common.errors import (ProtocolInvariantError, SimulationError)
+from repro.harness.system_builder import build_system
+
+from tests.conftest import drive, tiny_config, zerodev_config
+
+
+class TestShadowMemory:
+    def test_detects_stale_read(self):
+        shadow = ShadowMemory()
+        version = shadow.commit_write(5)
+        shadow.check_read(5, version, "test")           # fine
+        shadow.commit_write(5)
+        with pytest.raises(ProtocolInvariantError, match="stale"):
+            shadow.check_read(5, version, "test")
+
+    def test_unwritten_block_is_version_zero(self):
+        shadow = ShadowMemory()
+        shadow.check_read(7, 0, "test")
+        assert shadow.latest(7) == 0
+
+    def test_versions_monotonic(self):
+        shadow = ShadowMemory()
+        versions = [shadow.commit_write(1) for _ in range(5)]
+        assert versions == sorted(versions)
+        assert len(set(versions)) == 5
+
+
+class TestInvariantDetection:
+    def test_swmr_violation_detected(self, baseline):
+        drive(baseline, [(0, "W", 5)])
+        # Corrupt: give core 1 a second owned copy behind the
+        # protocol's back.
+        baseline.cores[1].fill(5, MESI.M, 99, code=False)
+        with pytest.raises(ProtocolInvariantError, match="SWMR"):
+            baseline.check_invariants()
+
+    def test_untracked_block_detected(self, baseline):
+        drive(baseline, [(0, "R", 5)])
+        baseline.directory.remove(5)
+        with pytest.raises(ProtocolInvariantError, match="untracked"):
+            baseline.check_invariants()
+
+    def test_imprecise_sharer_vector_detected(self, baseline):
+        drive(baseline, [(0, "R", 5)])
+        entry = baseline._peek_entry(5)
+        entry.add_sharer(3)                    # core 3 has no copy
+        with pytest.raises(ProtocolInvariantError, match="imprecise"):
+            baseline.check_invariants()
+
+    def test_fused_state_mismatch_detected(self, zerodev):
+        drive(zerodev, [(0, "R", 5)])          # fused M/E entry (FPSS)
+        line = zerodev.bank_of(5).peek_data(5)
+        assert line.kind is LineKind.FUSED
+        line.entry.state = DirState.S          # corrupt: fused but S
+        with pytest.raises(ProtocolInvariantError,
+                           match="FPSS|state S but core owns"):
+            zerodev.check_invariants()
+
+    def test_location_mismatch_detected(self, zerodev):
+        drive(zerodev, [(0, "R", 5)])
+        line = zerodev.bank_of(5).peek_data(5)
+        line.entry.location = EntryLocation.MEMORY
+        with pytest.raises(ProtocolInvariantError, match="mismatch"):
+            zerodev.check_invariants()
+
+    def test_dev_counter_guard(self, zerodev):
+        drive(zerodev, [(0, "R", 5)])
+        zerodev.stats.dev_invalidations = 1    # should be impossible
+        with pytest.raises(ProtocolInvariantError,
+                           match="eviction victims"):
+            zerodev.check_invariants()
+
+
+class TestProtocolGuards:
+    def test_notice_without_entry_raises_in_baseline(self, baseline):
+        from repro.caches.private_cache import EvictionNotice
+        notice = EvictionNotice(core=0, block=77, state=MESI.S,
+                                version=0, is_code=False)
+        with pytest.raises(ProtocolInvariantError, match="untracked"):
+            baseline._process_notice(notice)
+
+    def test_fused_frame_in_baseline_rejected(self, baseline):
+        from repro.caches.block import LLCLine
+        from repro.coherence.entry import DirectoryEntry
+        bank = baseline.bank_of(5)
+        entry = DirectoryEntry(5, DirState.ME, owner=0)
+        bank.insert(LLCLine(5, LineKind.FUSED, entry=entry))
+        victim = bank.peek_data(5)
+        with pytest.raises(ProtocolInvariantError):
+            baseline._handle_llc_victim(bank, victim)
+
+    def test_demand_fetch_of_corrupted_block_rejected(self, zerodev):
+        from repro.coherence.entry import DirectoryEntry
+        entry = DirectoryEntry(42, DirState.ME, owner=0)
+        zerodev._housing.house(42, entry)
+        with pytest.raises(ProtocolInvariantError, match="corrupted"):
+            zerodev._memory_fetch_latency(42)
+
+    def test_wb_de_under_inclusion_rejected(self):
+        from repro.common.config import LLCDesign
+        from repro.coherence.entry import DirectoryEntry
+        system = build_system(zerodev_config(
+            llc_design=LLCDesign.INCLUSIVE))
+        entry = DirectoryEntry(5, DirState.ME, owner=0)
+        with pytest.raises(ProtocolInvariantError, match="inclusive"):
+            system._writeback_entry_to_memory(entry)

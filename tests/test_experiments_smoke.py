@@ -1,0 +1,76 @@
+"""Smoke tests for the experiment layer at minimal scale.
+
+These keep ``repro.harness.experiments`` exercised by the unit suite; the
+full-scale versions run under ``pytest benchmarks/ --benchmark-only``.
+"""
+
+import os
+
+import pytest
+
+from repro.harness import experiments
+from repro.harness.reporting import Table
+
+
+@pytest.fixture(autouse=True)
+def minimal_scale(monkeypatch):
+    monkeypatch.setenv("REPRO_ACCESSES", "400")
+    monkeypatch.setenv("REPRO_FULL", "0")
+
+
+class TestExperimentSmoke:
+    def test_scaling_knobs(self, monkeypatch):
+        assert experiments.accesses_per_core() == 400
+        monkeypatch.setenv("REPRO_ACCESSES", "123")
+        assert experiments.accesses_per_core() == 123
+        assert not experiments.run_full()
+        monkeypatch.setenv("REPRO_FULL", "1")
+        assert experiments.run_full()
+
+    def test_representative_subsets_cover_named_apps(self):
+        for suite, names in experiments.REPRESENTATIVE.items():
+            available = {p.name for p in
+                         experiments.apps_of(suite)}
+            assert set(names) == available or set(names) <= available
+
+    def test_fig19_structure(self):
+        table, results = experiments.fig19_parsec()
+        assert isinstance(table, Table)
+        assert set(results) == {"1x", "1/8x", "NoDir", "_aggregates"}
+        assert results["_aggregates"]["NoDir"]["dev_invalidations"] == 0
+        assert set(results["NoDir"]) == {"PARSEC"}
+        apps = results["NoDir"]["PARSEC"]
+        assert "freqmine" in apps
+        for speedup in apps.values():
+            assert 0.5 < speedup < 2.0
+
+    def test_fig5_occupancy_structure(self):
+        table, results = experiments.fig5_llc_occupancy()
+        for suite, maxima in results.items():
+            assert all(m >= 0 for m in maxima)
+
+    def test_energy_structure(self):
+        table, results = experiments.energy_comparison()
+        assert -1.0 < results["saving"] < 1.0
+
+    def test_multisocket_structure(self):
+        table, results = experiments.multisocket_comparison(2)
+        assert results["speedups"]
+
+    def test_fig23_mix_count(self):
+        table, results = experiments.fig23_heterogeneous(n_mixes=2)
+        assert all(len(v) == 2 for v in results.values())
+
+    def test_fig12_design_space(self):
+        from benchmarks.test_fig12_design_space import fig12_design_space
+        table, measured = fig12_design_space()
+        assert set(measured) == {"SpillAll", "FPSS", "FuseAll"}
+        assert measured["FPSS"]["extra_array_reads"] == 0
+
+    def test_ablation_functions(self):
+        from benchmarks.test_ablations import (
+            ablation_notice_bits_overhead, ablation_replacement_disabled)
+        _, notice = ablation_notice_bits_overhead()
+        assert max(notice["fractions"]) < 0.05
+        _, repl = ablation_replacement_disabled()
+        assert repl["disturbances"]["disabled"] == 0

@@ -1,0 +1,138 @@
+"""Tests for the runner, reporting, energy model, and system builder."""
+
+import pytest
+
+from repro.common.config import (DirectoryConfig, LLCReplacement, Protocol)
+from repro.harness.energy import EnergyModel, estimate_energy
+from repro.harness.reporting import Row, Table, geomean
+from repro.harness.runner import run_workload
+from repro.harness.system_builder import build_system
+from repro.workloads import make_multithreaded
+from repro.workloads.suites import find_profile
+
+from tests.conftest import tiny_config, zerodev_config
+
+
+class TestRunner:
+    def run(self, config, accesses=400):
+        system = build_system(config)
+        workload = make_multithreaded(find_profile("blackscholes"),
+                                      config, accesses, seed=1)
+        return run_workload(system, workload, check_invariants_every=200)
+
+    def test_runs_to_completion(self):
+        result = self.run(tiny_config())
+        assert result.stats.total_accesses == 4 * 400
+        assert result.cycles > 0
+        assert len(result.per_core_cycles) == 4
+
+    def test_deterministic(self):
+        a = self.run(tiny_config())
+        b = self.run(tiny_config())
+        assert a.per_core_cycles == b.per_core_cycles
+        assert a.stats.traffic_bytes == b.stats.traffic_bytes
+
+    def test_interleaves_by_local_time(self):
+        result = self.run(tiny_config())
+        cycles = result.per_core_cycles
+        assert max(cycles) < 2 * min(cycles)   # no core raced far ahead
+
+    def test_sampling_callback(self):
+        config = tiny_config()
+        system = build_system(config)
+        workload = make_multithreaded(find_profile("blackscholes"),
+                                      config, 200, seed=1)
+        samples = []
+        run_workload(system, workload, sample_every=100,
+                     sample_fn=lambda s: samples.append(
+                         s.stats.total_accesses))
+        assert samples and samples == sorted(samples)
+
+    def test_rejects_oversized_workload(self):
+        config = tiny_config()
+        system = build_system(config)
+        workload = make_multithreaded(
+            find_profile("blackscholes"),
+            tiny_config(n_cores=8), 10, seed=1)
+        with pytest.raises(ValueError):
+            run_workload(system, workload)
+
+
+class TestBuilder:
+    def test_dispatch(self):
+        from repro.baselines import MgDSystem, SecDirSystem
+        from repro.coherence.protocol import CMPSystem
+        from repro.core.protocol import ZeroDEVSystem
+        assert type(build_system(tiny_config())) is CMPSystem
+        assert isinstance(build_system(zerodev_config()), ZeroDEVSystem)
+        assert isinstance(
+            build_system(tiny_config(protocol=Protocol.SECDIR)),
+            SecDirSystem)
+        assert isinstance(
+            build_system(tiny_config(protocol=Protocol.MGD)), MgDSystem)
+
+    def test_mesh_autosizing_for_big_sockets(self):
+        config = tiny_config(n_cores=32)
+        system = build_system(config)
+        mesh = system.config.mesh
+        assert mesh.width * mesh.height >= 32 + config.llc_banks
+
+    def test_zerodev_directory_is_replacement_disabled(self):
+        system = build_system(zerodev_config(
+            directory=DirectoryConfig(ratio=1.0)))
+        assert system.directory.replacement_disabled
+
+
+class TestReporting:
+    def test_geomean(self):
+        assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+        assert geomean([]) == 0.0
+        assert geomean([1.0, 0.0, 4.0]) == pytest.approx(2.0)
+
+    def test_table_render(self):
+        table = Table("Figure X")
+        table.add("app", 0.98, paper=0.99, note="ok")
+        text = table.render()
+        assert "Figure X" in text
+        assert "0.980" in text and "0.990" in text and "ok" in text
+
+    def test_row_without_paper_value(self):
+        row = Row("label", 1.0)
+        assert "1.000" in row.formatted(10)
+
+    def test_table_to_dict(self):
+        table = Table("T")
+        table.add("x", 1.5, paper=2.0, note="n")
+        data = table.to_dict()
+        assert data["title"] == "T"
+        assert data["rows"][0] == {"label": "x", "measured": 1.5,
+                                   "paper": 2.0, "unit": "", "note": "n"}
+
+
+class TestEnergy:
+    def run_stats(self, config):
+        system = build_system(config)
+        workload = make_multithreaded(find_profile("canneal"), config,
+                                      400, seed=1)
+        run_workload(system, workload)
+        return system.stats
+
+    def test_components_positive(self):
+        config = tiny_config()
+        energy = estimate_energy(config, self.run_stats(config))
+        assert energy["total_j"] > 0
+        assert energy["dir_dynamic_j"] > 0
+        assert energy["dir_leakage_j"] > 0
+
+    def test_no_directory_zeroes_dir_energy(self):
+        config = zerodev_config()
+        energy = estimate_energy(config, self.run_stats(config))
+        assert energy["dir_dynamic_j"] == 0.0
+        assert energy["dir_leakage_j"] == 0.0
+
+    def test_directory_storage_estimate(self):
+        model = EnergyModel()
+        config = tiny_config()
+        mb = model.directory_mb(config)
+        expected_bits = config.directory_entries * (26 + 4 + 1)
+        assert mb == pytest.approx(expected_bits / 8 / 2**20)

@@ -1,0 +1,195 @@
+"""Unit tests for the LLC bank: frame kinds, policies, fuse/spill."""
+
+import pytest
+
+from repro.caches.block import LLCLine, LineKind
+from repro.caches.llc import LLCBank
+from repro.coherence.entry import DirectoryEntry, DirState, EntryLocation
+from repro.common.config import LLCReplacement
+from repro.common.errors import ProtocolInvariantError, SimulationError
+
+
+def make_bank(ways=4, sets=4, replacement=LLCReplacement.LRU):
+    return LLCBank(0, sets, ways, replacement, n_banks=1)
+
+
+def data(block, dirty=False, version=0):
+    return LLCLine(block, LineKind.DATA, dirty=dirty, version=version)
+
+
+def entry_for(block, state=DirState.S, owner=None, sharers=0b1):
+    if state is DirState.ME and owner is None:
+        owner = 0
+    return DirectoryEntry(block, state, owner=owner, sharers=sharers)
+
+
+def spill(block):
+    line = LLCLine(block, LineKind.SPILLED, entry=entry_for(block))
+    line.entry.location = EntryLocation.LLC_SPILLED
+    return line
+
+
+class TestBasicFrames:
+    def test_insert_and_lookup_data(self):
+        bank = make_bank()
+        bank.insert(data(4))
+        assert bank.lookup_data(4).block == 4
+        assert bank.lookup_spill(4) is None
+
+    def test_data_and_spill_coexist_under_same_tag(self):
+        bank = make_bank()
+        bank.insert(data(4))
+        bank.insert(spill(4))
+        assert bank.lookup_data(4).kind is LineKind.DATA
+        assert bank.lookup_spill(4).kind is LineKind.SPILLED
+        assert len(bank.frames_in_set(bank.set_of(4))) == 2
+
+    def test_duplicate_data_frame_rejected(self):
+        bank = make_bank()
+        bank.insert(data(4))
+        with pytest.raises(SimulationError):
+            bank.insert(data(4))
+
+    def test_lru_victim(self):
+        bank = make_bank(ways=2)
+        bank.insert(data(0))
+        bank.insert(data(4))
+        victim = bank.insert(data(8))
+        assert victim.block == 0
+
+    def test_counts(self):
+        bank = make_bank()
+        bank.insert(data(0))
+        bank.insert(spill(4))
+        entry = entry_for(8, DirState.ME, owner=1)
+        bank.insert(data(8))
+        assert bank.fuse(8, entry)
+        assert bank.data_block_count() == 2
+        assert bank.spilled_count() == 1
+        assert bank.fused_count() == 1
+
+
+class TestFuseUnfuse:
+    def test_fuse_marks_frame_and_location(self):
+        bank = make_bank()
+        bank.insert(data(4, dirty=True, version=3))
+        entry = entry_for(4, DirState.ME, owner=2)
+        assert bank.fuse(4, entry)
+        line = bank.lookup_data(4)
+        assert line.kind is LineKind.FUSED
+        assert line.dirty and line.version == 3
+        assert entry.location is EntryLocation.LLC_FUSED
+
+    def test_fuse_fails_when_absent(self):
+        bank = make_bank()
+        assert not bank.fuse(4, entry_for(4, DirState.ME, owner=0))
+
+    def test_fuse_fails_on_already_fused(self):
+        bank = make_bank()
+        bank.insert(data(4))
+        bank.fuse(4, entry_for(4, DirState.ME, owner=0))
+        assert not bank.fuse(4, entry_for(4, DirState.ME, owner=1))
+
+    def test_unfuse_restores_data(self):
+        bank = make_bank()
+        bank.insert(data(4))
+        entry = entry_for(4, DirState.ME, owner=0)
+        bank.fuse(4, entry)
+        assert bank.unfuse(4) is entry
+        assert bank.lookup_data(4).kind is LineKind.DATA
+
+    def test_unfuse_without_fused_raises(self):
+        bank = make_bank()
+        bank.insert(data(4))
+        with pytest.raises(ProtocolInvariantError):
+            bank.unfuse(4)
+
+    def test_free_spill(self):
+        bank = make_bank()
+        line = spill(4)
+        bank.insert(line)
+        assert bank.free_spill(4) is line.entry
+        assert bank.lookup_spill(4) is None
+
+    def test_free_spill_missing_raises(self):
+        with pytest.raises(ProtocolInvariantError):
+            make_bank().free_spill(4)
+
+
+class TestSpLRU:
+    def test_data_access_promotes_its_spill_above_it(self):
+        bank = make_bank(ways=3, replacement=LLCReplacement.SP_LRU)
+        bank.insert(spill(4))
+        bank.insert(data(4))
+        bank.insert(data(8))
+        # Access block 4: B to MRU, then its spill above it.
+        bank.lookup_data(4)
+        frames = bank.frames_in_set(bank.set_of(4))
+        assert [f.kind for f in frames[-2:]] == [LineKind.DATA,
+                                                 LineKind.SPILLED]
+        victim = bank.choose_victim(bank.set_of(4))
+        assert victim.block == 8        # block 8 is now LRU
+
+    def test_block_evicted_before_its_spill(self):
+        bank = make_bank(ways=2, replacement=LLCReplacement.SP_LRU)
+        bank.insert(data(4))
+        bank.insert(spill(4))
+        bank.lookup_data(4)
+        assert bank.choose_victim(bank.set_of(4)).kind is LineKind.DATA
+
+
+class TestDataLRU:
+    def test_data_blocks_evicted_before_entries(self):
+        bank = make_bank(ways=3, replacement=LLCReplacement.DATA_LRU)
+        bank.insert(spill(4))
+        bank.insert(data(8))
+        bank.insert(data(12))
+        bank.lookup_data(8)     # 12 is now the LRU data block? no: 12 newer
+        victim = bank.choose_victim(bank.set_of(4))
+        assert victim.kind is LineKind.DATA
+        assert victim.block == 12 or victim.block == 8
+        # precisely: LRU-to-MRU = [spill4, 12, 8] -> first DATA is 12
+        assert victim.block == 12
+
+    def test_entries_only_evicted_when_no_data_left(self):
+        bank = make_bank(ways=2, replacement=LLCReplacement.DATA_LRU)
+        bank.insert(spill(4))
+        entry = entry_for(8, DirState.ME, owner=0)
+        bank.insert(data(8))
+        bank.fuse(8, entry)     # set now: spill + fused, no plain data
+        victim = bank.choose_victim(bank.set_of(4))
+        assert victim.kind is LineKind.SPILLED
+
+    def test_protection_of_own_spill_during_fill(self):
+        bank = make_bank(ways=2, replacement=LLCReplacement.DATA_LRU)
+        bank.insert(spill(4))
+        other = spill(8)
+        bank.insert(other)
+        victim = bank.choose_victim(bank.set_of(4), protect_block=4)
+        assert victim is other
+
+    def test_protection_covers_data_frames_too(self):
+        bank = make_bank(ways=2, replacement=LLCReplacement.DATA_LRU)
+        bank.insert(data(4))
+        bank.insert(spill(8))
+        victim = bank.choose_victim(bank.set_of(4), protect_block=4)
+        assert victim.block == 8
+
+    def test_protection_falls_back_when_alone(self):
+        bank = make_bank(ways=1, replacement=LLCReplacement.DATA_LRU)
+        own = spill(4)
+        bank.insert(own)
+        assert bank.choose_victim(bank.set_of(4),
+                                  protect_block=4) is own
+
+    def test_insert_protects_own_block(self):
+        # Spilling an entry must not evict its own block's data frame.
+        bank = make_bank(ways=2, replacement=LLCReplacement.DATA_LRU)
+        bank.insert(data(4))
+        bank.insert(data(8))
+        victim = bank.insert(spill(4))
+        assert victim.block == 8
+
+    def test_choose_victim_empty_set_raises(self):
+        with pytest.raises(SimulationError):
+            make_bank().choose_victim(0)

@@ -1,0 +1,62 @@
+"""Extra reporting-layer coverage while system-level runs execute."""
+
+import json
+
+import pytest
+
+from repro.harness.reporting import Row, Table, ascii_bars, geomean
+
+
+class TestTableEdgeCases:
+    def test_empty_table_renders(self):
+        table = Table("empty")
+        text = table.render()
+        assert "empty" in text
+
+    def test_unit_and_note_render(self):
+        table = Table("t")
+        table.add("x", 5.0, unit="%", note="hello")
+        assert "%" in table.render()
+        assert "hello" in table.render()
+
+    def test_json_round_trip(self):
+        table = Table("t")
+        table.add("a", 1.0, paper=None)
+        table.add("b", 2.0, paper=3.0)
+        data = json.loads(json.dumps(table.to_dict()))
+        assert data["rows"][0]["paper"] is None
+        assert data["rows"][1]["paper"] == 3.0
+
+    def test_long_labels_align(self):
+        table = Table("t")
+        table.add("a" * 40, 1.0)
+        table.add("b", 2.0)
+        lines = table.render().splitlines()
+        # Measured values line up in one column.
+        positions = {line.find("1.000") for line in lines
+                     if "1.000" in line}
+        positions |= {line.find("2.000") for line in lines
+                      if "2.000" in line}
+        assert len(positions) == 1
+
+
+class TestGeomeanEdgeCases:
+    def test_single_value(self):
+        assert geomean([3.0]) == pytest.approx(3.0)
+
+    def test_ignores_nonpositive(self):
+        assert geomean([-1.0, 2.0, 8.0]) == pytest.approx(4.0)
+
+    def test_all_nonpositive(self):
+        assert geomean([-1.0, 0.0]) == 0.0
+
+
+class TestAsciiBarsEdgeCases:
+    def test_explicit_bounds(self):
+        chart = ascii_bars([0.5], ["x"], lo=0.0, hi=1.0, width=10)
+        assert "0.500" in chart
+
+    def test_minimum_one_hash(self):
+        chart = ascii_bars([0.0, 100.0], ["low", "high"])
+        low_line = chart.splitlines()[0]
+        assert "#" in low_line

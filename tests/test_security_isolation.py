@@ -1,0 +1,72 @@
+"""The isolation property behind the security motivation (Section I-A2).
+
+A prime+probe attacker measures how many of its primed blocks miss after
+a victim access. Under the baseline the observation depends on the
+victim's secret (which directory set it touched); under ZeroDEV it is
+provably independent -- the core caches are isolated from directory
+pressure. This is the same experiment as
+``examples/side_channel_isolation.py``, asserted deterministically.
+"""
+
+import pytest
+
+from repro.common.addressing import BLOCK_SHIFT
+from repro.common.config import (CacheGeometry, DirectoryConfig,
+                                 LLCReplacement, Protocol, SystemConfig)
+from repro.harness.system_builder import build_system
+from repro.workloads.trace import Op
+
+ATTACKER, VICTIM = 0, 1
+
+
+def small_socket(protocol: Protocol) -> SystemConfig:
+    directory = DirectoryConfig(
+        ratio=None if protocol is Protocol.ZERODEV else 0.125)
+    replacement = (LLCReplacement.DATA_LRU
+                   if protocol is Protocol.ZERODEV else LLCReplacement.LRU)
+    return SystemConfig(
+        n_cores=2,
+        l1i=CacheGeometry(512, 2), l1d=CacheGeometry(512, 2),
+        l2=CacheGeometry(4096, 4), llc=CacheGeometry(16384, 4),
+        llc_banks=2, protocol=protocol, directory=directory,
+        llc_replacement=replacement)
+
+
+def prime_probe(protocol: Protocol, secret: int, trial: int = 0) -> int:
+    system = build_system(small_socket(protocol))
+    config = system.config
+    dir_sets = max(1, config.directory_entries // 8)
+    attacker_blocks = [dir_sets * (tag + 1) for tag in range(8)]
+    for block in attacker_blocks:
+        system.access(ATTACKER, Op.READ, block << BLOCK_SHIFT)
+    victim_set = 0 if secret else 1 % dir_sets
+    victim_block = victim_set + dir_sets * (1000 + trial)
+    system.access(VICTIM, Op.READ, victim_block << BLOCK_SHIFT)
+    before = system.stats.core_cache_misses
+    for block in attacker_blocks:
+        system.access(ATTACKER, Op.READ, block << BLOCK_SHIFT)
+    return system.stats.core_cache_misses - before
+
+
+class TestDirectorySideChannel:
+    def test_baseline_leaks_the_secret(self):
+        quiet = [prime_probe(Protocol.BASELINE, 0, t) for t in range(10)]
+        noisy = [prime_probe(Protocol.BASELINE, 1, t) for t in range(10)]
+        # The observation distributions are disjoint: a perfect leak.
+        assert max(quiet) < min(noisy)
+
+    def test_zerodev_shows_zero_signal(self):
+        quiet = [prime_probe(Protocol.ZERODEV, 0, t) for t in range(10)]
+        noisy = [prime_probe(Protocol.ZERODEV, 1, t) for t in range(10)]
+        assert quiet == noisy
+
+    def test_secdir_narrows_but_zerodev_closes(self):
+        # SecDir avoids the *direct* cross-core DEV: the victim's single
+        # access migrates entries instead of invalidating them, so the
+        # immediate observation carries no signal either -- the paper's
+        # point is that SecDir remains attackable through private-
+        # partition self-conflicts, which need a longer access sequence.
+        quiet = prime_probe(Protocol.SECDIR, 0)
+        noisy = prime_probe(Protocol.SECDIR, 1)
+        assert noisy - quiet <= prime_probe(Protocol.BASELINE, 1) \
+            - prime_probe(Protocol.BASELINE, 0)

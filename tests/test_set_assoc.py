@@ -1,0 +1,89 @@
+"""Unit tests for the generic set-associative array."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.caches.block import L1Line
+from repro.caches.set_assoc import SetAssocCache
+from repro.common.config import CacheGeometry
+from repro.common.errors import SimulationError
+
+
+def make_cache(size=512, ways=2):
+    return SetAssocCache(CacheGeometry(size, ways))   # 8 blocks, 4 sets
+
+
+class TestInsertLookup:
+    def test_insert_and_lookup(self):
+        cache = make_cache()
+        cache.insert(L1Line(5))
+        assert cache.lookup(5).block == 5
+        assert 5 in cache
+
+    def test_miss_returns_none(self):
+        assert make_cache().lookup(3) is None
+
+    def test_duplicate_insert_rejected(self):
+        cache = make_cache()
+        cache.insert(L1Line(5))
+        with pytest.raises(SimulationError):
+            cache.insert(L1Line(5))
+
+    def test_eviction_returns_lru_victim(self):
+        cache = make_cache()          # 2 ways, set = block % 4
+        cache.insert(L1Line(0))
+        cache.insert(L1Line(4))
+        victim = cache.insert(L1Line(8))
+        assert victim.block == 0
+
+    def test_lookup_refreshes_lru(self):
+        cache = make_cache()
+        cache.insert(L1Line(0))
+        cache.insert(L1Line(4))
+        cache.lookup(0)               # 0 becomes MRU
+        victim = cache.insert(L1Line(8))
+        assert victim.block == 4
+
+    def test_peek_does_not_refresh_lru(self):
+        cache = make_cache()
+        cache.insert(L1Line(0))
+        cache.insert(L1Line(4))
+        cache.peek(0)
+        victim = cache.insert(L1Line(8))
+        assert victim.block == 0
+
+    def test_remove(self):
+        cache = make_cache()
+        cache.insert(L1Line(0))
+        assert cache.remove(0).block == 0
+        assert cache.remove(0) is None
+        assert 0 not in cache
+
+    def test_different_sets_do_not_conflict(self):
+        cache = make_cache()
+        for block in range(4):        # one per set
+            cache.insert(L1Line(block))
+        assert len(cache) == 4
+        assert cache.insert(L1Line(4)) is None or True  # set 0 now full?
+        # set 0 held block 0 only; inserting 4 must not evict.
+        assert 0 in cache and 4 in cache
+
+
+class TestCapacityProperty:
+    @given(st.lists(st.integers(min_value=0, max_value=63), min_size=1,
+                    max_size=200))
+    def test_never_exceeds_geometry(self, blocks):
+        cache = make_cache(size=1024, ways=4)   # 16 blocks, 4 sets
+        resident = set()
+        for block in blocks:
+            if block in resident:
+                cache.lookup(block)
+                continue
+            victim = cache.insert(L1Line(block))
+            resident.add(block)
+            if victim is not None:
+                resident.discard(victim.block)
+            assert len(cache) == len(resident)
+            assert len(cache) <= 16
+            for set_idx in range(4):
+                assert len(cache.set_lines(set_idx)) <= 4

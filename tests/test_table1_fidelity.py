@@ -1,0 +1,76 @@
+"""Fidelity of the Table I / Table II encodings at full (paper) size."""
+
+import pytest
+
+from repro.common.config import (DirectoryConfig, table1_socket)
+from repro.harness.system_builder import build_system
+from repro.harness.runner import run_workload
+from repro.workloads import make_multithreaded, suite_profiles
+from repro.workloads.suites import find_profile
+
+
+class TestTable1FullSize:
+    def test_paper_socket_geometry(self):
+        config = table1_socket()
+        assert config.n_cores == 8
+        assert config.l1i.size_bytes == 32 * 1024
+        assert config.l1d.size_bytes == 32 * 1024
+        assert config.l2.size_bytes == 256 * 1024
+        assert config.llc.size_bytes == 8 * 1024 * 1024
+        assert config.llc.ways == 16 and config.llc_banks == 8
+        assert config.directory.ways == 8
+        # 1x = aggregate private L2 blocks (Section I).
+        assert config.directory_entries == 8 * 4096
+
+    def test_paper_socket_builds_and_runs(self):
+        """A short run on the *unscaled* socket (REPRO_SCALE=1 path)."""
+        config = table1_socket()
+        system = build_system(config)
+        workload = make_multithreaded(find_profile("swaptions"), config,
+                                      800, seed=1)
+        result = run_workload(system, workload,
+                              check_invariants_every=1600)
+        assert result.stats.total_accesses == 8 * 800
+
+    def test_dram_timing_parameters(self):
+        config = table1_socket()
+        assert config.dram.channels == 2          # two controllers
+        assert config.dram.banks_per_channel == 8
+        assert config.dram.row_bytes == 1024      # 1 KB row buffer
+
+
+class TestTable2Coverage:
+    def test_parsec_matches_table2(self):
+        names = {p.name for p in suite_profiles("PARSEC")}
+        assert names == {"blackscholes", "canneal", "dedup", "facesim",
+                         "ferret", "fluidanimate", "freqmine",
+                         "swaptions", "streamcluster", "vips"}
+
+    def test_splash2x_matches_table2(self):
+        names = {p.name for p in suite_profiles("SPLASH2X")}
+        assert names == {"fft", "lu_cb", "radix", "lu_ncb", "ocean_cp",
+                         "radiosity", "raytrace", "water_nsquared",
+                         "water_spatial"}
+
+    def test_specomp_matches_table2(self):
+        names = {p.name for p in suite_profiles("SPECOMP")}
+        assert names == {"312.swim", "314.mgrid", "316.applu",
+                         "320.equake", "324.apsi", "330.art"}
+
+    def test_server_matches_table2(self):
+        names = {p.name for p in suite_profiles("SERVER")}
+        assert names == {"SPECjbb", "SPECWeb-B", "SPECWeb-E",
+                         "SPECWeb-S", "TPC-C", "TPC-E", "TPC-H"}
+
+    def test_cpu2017_has_figure21_axis(self):
+        names = {p.name for p in suite_profiles("CPU2017")}
+        figure21 = {"blender", "bwaves.1", "bwaves.2", "bwaves.3",
+                    "bwaves.4", "cactuBSSN", "cam4", "deepsjeng",
+                    "exchange2", "fotonik3d", "gcc.pp", "gcc.ppO2",
+                    "gcc.ref32", "gcc.ref32O5", "gcc.smaller",
+                    "imagick", "lbm", "leela", "mcf", "nab", "namd",
+                    "omnetpp", "parest", "perl.check", "perl.diff",
+                    "perl.split", "povray", "roms", "wrf", "x264.pass1",
+                    "x264.pass2", "x264.seek500", "xalancbmk", "xz.cld",
+                    "xz.docs", "xz.combined"}
+        assert figure21 <= names

@@ -1,0 +1,69 @@
+"""Tests for multi-phase workload generation."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.synthetic import AppProfile, generate
+from repro.workloads.trace import Op
+from repro.workloads.suites import find_profile
+
+from tests.conftest import tiny_config
+
+
+def phased_profile():
+    return AppProfile(
+        "phased", code_fraction=0.0, shared_fraction=0.0,
+        ws_private_x_l2=2.0,
+        phases=(
+            (1, {"write_fraction": 0.0}),
+            (1, {"write_fraction": 1.0}),
+        ))
+
+
+class TestPhaseExpansion:
+    def test_phase_profiles_split_counts(self):
+        segments = phased_profile().phase_profiles(1000)
+        assert [count for count, _ in segments] == [500, 500]
+        assert segments[0][1].write_fraction == 0.0
+        assert segments[1][1].write_fraction == 1.0
+        assert segments[0][1].phases == ()
+
+    def test_uneven_weights_sum_to_total(self):
+        profile = phased_profile().with_(phases=(
+            (3, {}), (1, {}), (3, {})))
+        segments = profile.phase_profiles(1000)
+        assert sum(count for count, _ in segments) == 1000
+
+    def test_no_phases_is_single_segment(self):
+        profile = AppProfile("flat")
+        assert profile.phase_profiles(100) == [(100, profile)]
+
+
+class TestPhasedGeneration:
+    def test_phases_change_op_mix_over_time(self):
+        traces = generate(phased_profile(), tiny_config(), 1000, seed=2)
+        ops = traces[0].ops
+        first, second = ops[:500], ops[500:]
+        assert (first == Op.WRITE.value).mean() == 0.0
+        assert (second == Op.WRITE.value).mean() == 1.0
+
+    def test_phases_share_one_address_space(self):
+        profile = phased_profile().with_(phases=(
+            (1, {"locality": 1.0}), (1, {"locality": 1.0})))
+        traces = generate(profile, tiny_config(), 1000, seed=2)
+        addresses = traces[0].addresses
+        first = set(np.unique(addresses[:500]))
+        second = set(np.unique(addresses[500:]))
+        assert first & second        # phases revisit the same data
+
+    def test_fftw_profile_is_phased(self):
+        profile = find_profile("fftw")
+        assert len(profile.phases) == 4
+        traces = generate(profile, tiny_config(), 800, seed=1)
+        assert len(traces[0]) == 800
+
+    def test_deterministic_with_phases(self):
+        profile = find_profile("fftw")
+        a = generate(profile, tiny_config(), 600, seed=7)
+        b = generate(profile, tiny_config(), 600, seed=7)
+        assert np.array_equal(a[0].addresses, b[0].addresses)

@@ -1,0 +1,168 @@
+"""Tests for trace primitives and the synthetic workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.common.addressing import BLOCK_SHIFT, block_of
+from repro.workloads import (SUITES, AppProfile, Op, SharingPattern,
+                             make_heterogeneous_mixes, make_multithreaded,
+                             make_rate_workload, suite_profiles)
+from repro.workloads.suites import find_profile
+from repro.workloads.synthetic import generate, scatter_pages
+from repro.workloads.trace import CoreTrace, TraceEvent, Workload
+
+from tests.conftest import tiny_config
+
+
+class TestTracePrimitives:
+    def test_from_events_roundtrip(self):
+        events = [TraceEvent(Op.READ, 64), TraceEvent(Op.WRITE, 128),
+                  TraceEvent(Op.IFETCH, 192)]
+        trace = CoreTrace.from_events(0, events)
+        assert list(trace) == events
+        assert trace.event(1) == events[1]
+        assert len(trace) == 3
+
+    def test_mismatched_arrays_rejected(self):
+        with pytest.raises(ValueError):
+            CoreTrace(0, np.zeros(2, np.int8), np.zeros(3, np.int64))
+
+    def test_workload_aggregates(self):
+        trace = CoreTrace.from_events(0, [TraceEvent(Op.READ, 0)])
+        workload = Workload("w", [trace, trace])
+        assert workload.n_cores == 2
+        assert workload.total_accesses == 2
+
+
+class TestScatterPages:
+    def test_preserves_within_page_offsets(self):
+        blocks = np.arange(64, dtype=np.int64)       # one 4 KB page
+        scattered = scatter_pages(blocks, salt=7)
+        assert len(np.unique(scattered >> 6)) == 1   # same frame
+        assert sorted(scattered & 63) == list(range(64))
+
+    def test_same_salt_same_mapping(self):
+        blocks = np.arange(256, dtype=np.int64)
+        assert np.array_equal(scatter_pages(blocks, 5),
+                              scatter_pages(blocks, 5))
+
+    def test_different_salts_differ(self):
+        blocks = np.arange(256, dtype=np.int64)
+        assert not np.array_equal(scatter_pages(blocks, 5),
+                                  scatter_pages(blocks, 6))
+
+    def test_scatters_across_sets(self):
+        # Consecutive pages must not stay consecutive (the point of the
+        # exercise: spreading working sets over directory sets).
+        blocks = np.arange(0, 64 * 32, 64, dtype=np.int64)
+        frames = scatter_pages(blocks, 1) >> 6
+        assert len(np.unique(frames % 64)) > 8
+
+
+class TestGenerate:
+    def config(self):
+        return tiny_config()
+
+    def test_deterministic(self):
+        profile = find_profile("freqmine")
+        a = generate(profile, self.config(), 500, seed=3)
+        b = generate(profile, self.config(), 500, seed=3)
+        for trace_a, trace_b in zip(a, b):
+            assert np.array_equal(trace_a.addresses, trace_b.addresses)
+            assert np.array_equal(trace_a.ops, trace_b.ops)
+
+    def test_seed_changes_traces(self):
+        profile = find_profile("freqmine")
+        a = generate(profile, self.config(), 500, seed=3)
+        b = generate(profile, self.config(), 500, seed=4)
+        assert not np.array_equal(a[0].addresses, b[0].addresses)
+
+    def test_code_fraction_respected(self):
+        profile = AppProfile("t", code_fraction=0.4)
+        traces = generate(profile, self.config(), 4000, seed=0)
+        fetches = (traces[0].ops == Op.IFETCH.value).mean()
+        assert 0.3 < fetches < 0.5
+
+    def test_zero_shared_fraction_keeps_data_private(self):
+        profile = AppProfile("t", shared_fraction=0.0, code_fraction=0.0)
+        traces = generate(profile, self.config(), 800, seed=1)
+        seen = [set(np.unique(t.addresses >> BLOCK_SHIFT))
+                for t in traces]
+        for i in range(len(seen)):
+            for j in range(i + 1, len(seen)):
+                assert not seen[i] & seen[j]
+
+    def test_multithreaded_shares_code_and_data(self):
+        profile = AppProfile("t", shared_fraction=0.5, code_fraction=0.3,
+                             ws_shared_x_llc=0.2)
+        traces = generate(profile, self.config(), 2000, seed=1)
+        seen = [set(np.unique(t.addresses)) for t in traces]
+        assert seen[0] & seen[1]
+
+    def test_migratory_pattern_produces_writes(self):
+        profile = AppProfile("t", shared_fraction=0.6,
+                             pattern=SharingPattern.MIGRATORY,
+                             code_fraction=0.0)
+        traces = generate(profile, self.config(), 2000, seed=1)
+        writes = (traces[0].ops == Op.WRITE.value).mean()
+        assert writes > 0.2
+
+
+class TestMixBuilders:
+    def test_rate_workload_shares_code_only(self):
+        profile = find_profile("xalancbmk")
+        workload = make_rate_workload(profile, tiny_config(), 1500,
+                                      seed=2)
+        assert workload.n_cores == 4
+        code, data = [], []
+        for trace in workload.traces:
+            is_code = trace.ops == Op.IFETCH.value
+            code.append(set(np.unique(trace.addresses[is_code])))
+            data.append(set(np.unique(trace.addresses[~is_code])))
+        assert code[0] & code[1]              # same binary
+        assert not data[0] & data[1]          # disjoint heaps
+
+    def test_heterogeneous_mixes_equal_representation(self):
+        mixes = make_heterogeneous_mixes(tiny_config(), 9, 100, seed=0)
+        assert len(mixes) == 9
+        assert all(m.n_cores == 4 for m in mixes)
+        assert mixes[0].name == "W1"
+
+    def test_multithreaded_names(self):
+        profile = find_profile("canneal")
+        workload = make_multithreaded(profile, tiny_config(), 100)
+        assert workload.name == "canneal"
+
+
+class TestSuiteRegistry:
+    def test_table2_suites_present(self):
+        for suite in ("PARSEC", "SPLASH2X", "SPECOMP", "FFTW",
+                      "CPU2017", "SERVER"):
+            assert suite_profiles(suite)
+
+    def test_parsec_has_paper_applications(self):
+        names = {p.name for p in suite_profiles("PARSEC")}
+        assert {"blackscholes", "canneal", "freqmine", "vips",
+                "streamcluster"} <= names
+        assert len(names) == 10
+
+    def test_cpu2017_includes_figure21_apps(self):
+        names = {p.name for p in suite_profiles("CPU2017")}
+        assert {"xalancbmk", "mcf", "lbm", "gcc.ppO2"} <= names
+        assert len(names) >= 30
+
+    def test_server_suite(self):
+        names = {p.name for p in suite_profiles("SERVER")}
+        assert {"SPECjbb", "TPC-C", "TPC-E", "TPC-H"} <= names
+
+    def test_unknown_suite_raises(self):
+        with pytest.raises(KeyError):
+            suite_profiles("NOPE")
+
+    def test_unknown_profile_raises(self):
+        with pytest.raises(KeyError):
+            find_profile("nope")
+
+    def test_profile_names_unique(self):
+        names = [p.name for suite in SUITES.values() for p in suite]
+        assert len(names) == len(set(names))

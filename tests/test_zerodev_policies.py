@@ -1,0 +1,177 @@
+"""Directed tests for ZeroDEV's directory-entry caching policies."""
+
+import pytest
+
+from repro.caches.block import LineKind, MESI
+from repro.coherence.entry import DirState, EntryLocation
+from repro.common.config import (DirCachingPolicy, DirectoryConfig,
+                                 LLCDesign, LLCReplacement)
+from repro.harness.system_builder import build_system
+
+from tests.conftest import drive, tiny_config, zerodev_config
+
+
+def zdev(policy=DirCachingPolicy.FPSS, **kw):
+    return build_system(zerodev_config(dir_caching=policy, **kw))
+
+
+class TestFPSSPlacement:
+    def test_owned_entry_fuses_with_block(self):
+        system = zdev()
+        drive(system, [(0, "R", 5)])
+        line = system.bank_of(5).peek_data(5)
+        assert line.kind is LineKind.FUSED
+        assert line.entry.state is DirState.ME
+        assert system.stats.entries_fused == 1
+        assert system.stats.entries_spilled == 0
+
+    def test_sharing_moves_entry_to_spilled(self):
+        system = zdev()
+        drive(system, [(0, "R", 5), (1, "R", 5)])
+        assert system.stats.fuse_to_spill == 1
+        assert system.bank_of(5).peek_data(5).kind is LineKind.DATA
+        spill = system.bank_of(5).peek_spill(5)
+        assert spill is not None
+        assert spill.entry.state is DirState.S
+
+    def test_upgrade_refuses_spill_back_to_fused(self):
+        system = zdev()
+        drive(system, [(0, "R", 5), (1, "R", 5), (1, "W", 5)])
+        assert system.stats.spill_to_fuse >= 1
+        line = system.bank_of(5).peek_data(5)
+        assert line.kind is LineKind.FUSED
+        assert line.entry.owner == 1
+
+    def test_code_entry_spills(self):
+        system = zdev()
+        drive(system, [(0, "I", 5)])
+        assert system.bank_of(5).peek_spill(5) is not None
+        assert system.stats.entries_spilled == 1
+
+    def test_shared_read_not_penalized(self):
+        system = zdev()
+        drive(system, [(0, "I", 5), (1, "I", 5), (2, "I", 5)])
+        assert system.stats.extra_data_array_reads == 0
+        assert system.stats.fused_read_forwards == 0
+
+    def test_entry_freed_with_last_copy(self):
+        system = zdev()
+        drive(system, [(0, "R", 5)])
+        same_l2_set = [5 + 8 * k for k in range(1, 5)]
+        drive(system, [(0, "R", b) for b in same_l2_set])
+        assert system._peek_entry(5) is None
+        line = system.bank_of(5).peek_data(5)
+        assert line is not None and line.kind is LineKind.DATA
+
+
+class TestSpillAll:
+    def test_every_entry_spills(self):
+        system = zdev(DirCachingPolicy.SPILL_ALL)
+        drive(system, [(0, "R", 5), (0, "I", 7)])
+        assert system.stats.entries_spilled == 2
+        assert system.stats.entries_fused == 0
+
+    def test_shared_read_pays_extra_data_array_access(self):
+        system = zdev(DirCachingPolicy.SPILL_ALL)
+        drive(system, [(0, "I", 5), (1, "I", 5)])
+        assert system.stats.extra_data_array_reads >= 1
+
+    def test_owned_block_spilled_entry_read_forwards(self):
+        system = zdev(DirCachingPolicy.SPILL_ALL)
+        drive(system, [(0, "W", 5), (1, "R", 5)])
+        assert system.stats.forwarded_requests == 1
+
+
+class TestFuseAll:
+    def test_shared_entry_fuses_when_block_present(self):
+        system = zdev(DirCachingPolicy.FUSE_ALL)
+        drive(system, [(0, "I", 5)])
+        line = system.bank_of(5).peek_data(5)
+        assert line.kind is LineKind.FUSED
+        assert line.entry.state is DirState.S
+
+    def test_read_of_fused_shared_block_forwards(self):
+        system = zdev(DirCachingPolicy.FUSE_ALL)
+        drive(system, [(0, "I", 5), (1, "I", 5)])
+        assert system.stats.fused_read_forwards >= 1
+        assert system.stats.forwarded_requests >= 1
+
+    def test_upgrade_keeps_baseline_path(self):
+        system = zdev(DirCachingPolicy.FUSE_ALL)
+        drive(system, [(0, "R", 5), (1, "R", 5), (0, "W", 5)])
+        assert system.cores[0].probe(5) is MESI.M
+
+    def test_last_sharer_eviction_retrieves_bits(self):
+        from repro.common.messages import MessageType
+        system = zdev(DirCachingPolicy.FUSE_ALL)
+        drive(system, [(0, "I", 5), (1, "I", 5)])
+        # Evict both copies through L2 conflicts.
+        conflicts = [5 + 8 * k for k in range(1, 5)]
+        drive(system, [(0, "I", b) for b in conflicts]
+              + [(1, "I", b) for b in conflicts])
+        assert system._peek_entry(5) is None
+        assert system.stats.messages.get(MessageType.EVICT_ACK, 0) >= 1
+
+
+class TestZeroDevGuarantee:
+    @pytest.mark.parametrize("policy", list(DirCachingPolicy))
+    def test_no_devs_under_conflict_pressure(self, policy):
+        system = zdev(policy)
+        script = [(c, "RWI"[k % 3], (k * 3 + c) % 64)
+                  for k in range(150) for c in range(4)]
+        drive(system, script)
+        assert system.stats.dev_invalidations == 0
+        assert system.stats.dev_events == 0
+
+    def test_tiny_sparse_directory_overflows_to_llc(self):
+        system = build_system(zerodev_config(
+            directory=DirectoryConfig(ratio=0.125)))
+        blocks = [2 * k for k in range(20)]
+        drive(system, [(0, "R", b) for b in blocks])
+        assert system.stats.dev_invalidations == 0
+        in_llc = system.stats.entries_fused + system.stats.entries_spilled
+        assert in_llc >= 1
+        assert len(system.directory) >= 1
+
+    def test_sparse_directory_room_used_first(self):
+        system = build_system(zerodev_config(
+            directory=DirectoryConfig(ratio=1.0)))
+        drive(system, [(0, "R", 5)])
+        assert system.directory.peek(5) is not None
+        assert system.stats.entries_fused == 0
+
+
+class TestEPDZeroDev:
+    def test_epd_never_fuses(self):
+        system = build_system(zerodev_config(llc_design=LLCDesign.EPD))
+        drive(system, [(0, "R", 5), (0, "I", 7), (1, "R", 5),
+                       (1, "W", 5)])
+        assert system.stats.entries_fused == 0
+        assert system.stats.spill_to_fuse == 0
+        assert system.stats.entries_spilled >= 2
+
+    def test_epd_zero_devs(self):
+        system = build_system(zerodev_config(llc_design=LLCDesign.EPD))
+        script = [(c, "RW"[k % 2], (k * 5 + c) % 48)
+                  for k in range(100) for c in range(4)]
+        drive(system, script)
+        assert system.stats.dev_invalidations == 0
+
+
+class TestInclusiveZeroDev:
+    def test_no_entry_ever_written_to_memory(self):
+        system = build_system(zerodev_config(
+            llc_design=LLCDesign.INCLUSIVE))
+        script = [(c, "RWI"[k % 3], (k * 7 + c) % 96)
+                  for k in range(200) for c in range(4)]
+        drive(system, script)
+        assert system.stats.wb_de_messages == 0
+        assert system.stats.entry_llc_evictions == 0
+        assert system.stats.dev_invalidations == 0
+
+    def test_inclusion_invalidations_remain(self):
+        system = build_system(zerodev_config(
+            llc_design=LLCDesign.INCLUSIVE))
+        blocks = [t << 5 for t in range(8)]
+        drive(system, [(0, "R", b) for b in blocks])
+        assert system.stats.inclusion_invalidations >= 1
