@@ -1,15 +1,18 @@
 """Generic set-associative cache with true-LRU replacement.
 
 Used for the private L1 and L2 arrays. Lines are arbitrary objects with a
-``block`` attribute; the cache maintains per-set LRU order (index 0 is LRU,
-the last index is MRU) plus a block-indexed dictionary for O(1) lookup.
+``block`` attribute; each set is an ordered mapping from block to line in
+LRU-to-MRU order (first entry is LRU, last is MRU), giving O(1) hit-path
+recency updates -- this sits on the per-access critical path of the
+runner, where a per-touch ``list.remove`` (which compares dataclass lines
+field-by-field) dominated the profile.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Dict, Generic, List, Optional, TypeVar
 
-from repro.common.addressing import set_index
 from repro.common.config import CacheGeometry
 from repro.common.errors import SimulationError
 
@@ -21,7 +24,11 @@ class SetAssocCache(Generic[LineT]):
 
     def __init__(self, geometry: CacheGeometry) -> None:
         self.geometry = geometry
-        self._sets: List[List[LineT]] = [[] for _ in range(geometry.sets)]
+        # Hoisted from the geometry properties (recomputed per call).
+        self._n_ways = geometry.ways
+        self._set_mask = geometry.sets - 1
+        self._sets: List["OrderedDict[int, LineT]"] = [
+            OrderedDict() for _ in range(geometry.sets)]
         self._index: Dict[int, LineT] = {}
 
     def __len__(self) -> int:
@@ -32,15 +39,13 @@ class SetAssocCache(Generic[LineT]):
 
     # ------------------------------------------------------------------
     def set_of(self, block: int) -> int:
-        return set_index(block, self.geometry.sets)
+        return block & self._set_mask
 
     def lookup(self, block: int, touch: bool = True) -> Optional[LineT]:
         """Return the line holding ``block``, updating LRU order on hit."""
         line = self._index.get(block)
         if line is not None and touch:
-            lru_set = self._sets[self.set_of(block)]
-            lru_set.remove(line)
-            lru_set.append(line)
+            self._sets[block & self._set_mask].move_to_end(block)
         return line
 
     def peek(self, block: int) -> Optional[LineT]:
@@ -57,12 +62,12 @@ class SetAssocCache(Generic[LineT]):
         block = line.block  # type: ignore[attr-defined]
         if block in self._index:
             raise SimulationError(f"block {block:#x} already cached")
-        lru_set = self._sets[self.set_of(block)]
+        lru_set = self._sets[block & self._set_mask]
         victim: Optional[LineT] = None
-        if len(lru_set) >= self.geometry.ways:
-            victim = lru_set.pop(0)
+        if len(lru_set) >= self._n_ways:
+            _, victim = lru_set.popitem(last=False)
             del self._index[victim.block]  # type: ignore[attr-defined]
-        lru_set.append(line)
+        lru_set[block] = line
         self._index[block] = line
         return victim
 
@@ -70,7 +75,7 @@ class SetAssocCache(Generic[LineT]):
         """Remove and return the line holding ``block`` (None if absent)."""
         line = self._index.pop(block, None)
         if line is not None:
-            self._sets[self.set_of(block)].remove(line)
+            del self._sets[block & self._set_mask][block]
         return line
 
     # ------------------------------------------------------------------
@@ -80,4 +85,4 @@ class SetAssocCache(Generic[LineT]):
 
     def set_lines(self, index: int) -> List[LineT]:
         """The lines of set ``index`` in LRU-to-MRU order (read-only use)."""
-        return self._sets[index]
+        return list(self._sets[index].values())

@@ -70,6 +70,8 @@ def _command_run(args) -> int:
         os.environ["REPRO_ACCESSES"] = str(args.accesses)
     if args.full:
         os.environ["REPRO_FULL"] = "1"
+    if args.jobs:
+        os.environ["REPRO_JOBS"] = str(args.jobs)
     experiment = EXPERIMENTS[args.figure]
     table, _results = experiment()
     table.show()
@@ -78,6 +80,13 @@ def _command_run(args) -> int:
         print()
         print(ascii_bars([r.measured for r in chart_rows],
                          [r.label for r in chart_rows]))
+    meta = table.metadata
+    if meta.get("runs_executed") or meta.get("cache_hits"):
+        print(f"\n[{meta.get('runs_executed', 0)} runs "
+              f"({meta.get('cache_hits', 0)} cached), "
+              f"{meta.get('experiment_wall_seconds', 0.0):.1f}s wall, "
+              f"{meta.get('accesses_per_second', 0):,} simulated "
+              f"accesses/s, jobs={meta.get('jobs', 1)}]")
     return 0
 
 
@@ -198,6 +207,9 @@ def build_parser() -> argparse.ArgumentParser:
                      help="accesses per core (default: REPRO_ACCESSES)")
     run.add_argument("--full", action="store_true",
                      help="run every application, not the subset")
+    run.add_argument("--jobs", type=int, default=0,
+                     help="worker processes for independent runs "
+                          "(default: REPRO_JOBS)")
 
     demo = commands.add_parser("demo", help="baseline vs ZeroDEV demo")
     demo.add_argument("--app", default="freqmine")

@@ -9,17 +9,29 @@ pytest-benchmark and assert the qualitative *shape* (who wins, direction
 of trends) rather than absolute numbers -- the substrate is a trace-driven
 simulator, not the authors' Multi2Sim testbed (see DESIGN.md).
 
+Execution goes through :func:`repro.harness.parallel.run_many`: each
+figure assembles its full list of ``(config, workload)`` runs and issues
+them as one batch, which (a) fans out over ``REPRO_JOBS`` worker
+processes and (b) deduplicates against the session result cache, so the
+baseline runs shared by fig17-fig27 are simulated exactly once per
+session. Results are bit-identical to the serial path (the simulator is
+deterministic); every table carries run telemetry in ``Table.metadata``.
+
 Scaling knobs (environment variables):
 
 ``REPRO_ACCESSES``  accesses per core per run (default 6000)
 ``REPRO_FULL``      set to 1 to run every application instead of the
                     representative subset
 ``REPRO_SCALE``     capacity scale divisor (default 16; 1 = paper-sized)
+``REPRO_JOBS``      worker processes for independent runs (default 1)
+``REPRO_CACHE_DIR`` persist run results on disk across sessions
 """
 
 from __future__ import annotations
 
+import functools
 import os
+import time
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.common.config import (DirCachingPolicy, DirectoryConfig,
@@ -28,6 +40,8 @@ from repro.common.config import (DirCachingPolicy, DirectoryConfig,
                                  scaled_socket)
 from repro.common.stats import weighted_speedup
 from repro.harness.energy import estimate_energy
+from repro.harness.parallel import (run_many, telemetry_since,
+                                    telemetry_snapshot)
 from repro.harness.reporting import Table, geomean
 from repro.harness.runner import RunResult, run_workload
 from repro.harness.system_builder import build_system
@@ -49,8 +63,42 @@ def run_full() -> bool:
     return os.environ.get("REPRO_FULL", "0") == "1"
 
 
+def jobs() -> int:
+    """Worker processes for independent runs (``REPRO_JOBS``)."""
+    return max(1, int(os.environ.get("REPRO_JOBS", "1")))
+
+
 def default_config(**overrides) -> SystemConfig:
     return scaled_socket(capacity_scale(), **overrides)
+
+
+def _instrumented(fn):
+    """Record wall-clock and run telemetry into the returned table.
+
+    Every figure's ``results/*.json`` artifact then carries the number
+    of simulated runs, cache hits, per-run wall time, and simulated
+    accesses per second -- the baseline future perf PRs regress against.
+    """
+    @functools.wraps(fn)
+    def wrapper(*args, **kwargs):
+        before = telemetry_snapshot()
+        started = time.perf_counter()
+        table, results = fn(*args, **kwargs)
+        elapsed = time.perf_counter() - started
+        delta = telemetry_since(before)
+        run_wall = delta["wall_seconds"]
+        table.metadata.update({
+            "experiment_wall_seconds": round(elapsed, 3),
+            "runs_executed": int(delta["runs"]),
+            "cache_hits": int(delta["cache_hits"]),
+            "run_wall_seconds": round(run_wall, 3),
+            "simulated_accesses": int(delta["accesses"]),
+            "accesses_per_second": (
+                int(delta["accesses"] / run_wall) if run_wall else 0),
+            "jobs": jobs(),
+        })
+        return table, results
+    return wrapper
 
 
 #: Representative per-suite subsets: always include the applications the
@@ -90,7 +138,14 @@ def workload_for(profile, suite: str, config: SystemConfig,
 
 
 def run_config(config: SystemConfig, workload: Workload) -> RunResult:
-    return run_workload(build_system(config), workload)
+    """One cached run (serial; use :func:`run_configs` to batch)."""
+    return run_many([(config, workload)], jobs=1)[0]
+
+
+def run_configs(pairs) -> List[RunResult]:
+    """Run a batch of (config, workload) pairs under the figure-level
+    parallelism/cache policy; results in request order."""
+    return run_many(pairs, jobs=jobs())
 
 
 def speedup_of(base: RunResult, new: RunResult, suite: str) -> float:
@@ -113,22 +168,32 @@ def compare_suites(base_config: SystemConfig,
 
     Returns results[config_label][suite][app] = speedup vs base, plus
     results["_aggregates"][config_label] = summed counters (the Section
-    III-D3 statistics are derived from these).
+    III-D3 statistics are derived from these). All runs of all configs
+    are issued as one ``run_many`` batch.
     """
+    suites = list(suites)
+    labels = list(new_configs)
+    work = [(suite, profile,
+             workload_for(profile, suite, base_config, seed))
+            for suite in suites for profile in apps_of(suite)]
+    pairs = [(base_config, workload) for _, _, workload in work]
+    for label in labels:
+        pairs.extend((new_configs[label], workload)
+                     for _, _, workload in work)
+    runs = run_configs(pairs)
+    base_runs = runs[:len(work)]
     results = {label: {suite: {} for suite in suites}
-               for label in new_configs}
+               for label in labels}
     aggregates = {label: {field: 0 for field in _AGGREGATE_FIELDS}
-                  for label in new_configs}
-    for suite in suites:
-        for profile in apps_of(suite):
-            workload = workload_for(profile, suite, base_config, seed)
-            base = run_config(base_config, workload)
-            for label, config in new_configs.items():
-                new = run_config(config, workload)
-                results[label][suite][profile.name] = speedup_of(
-                    base, new, suite)
-                for field in _AGGREGATE_FIELDS:
-                    aggregates[label][field] += getattr(new.stats, field)
+                  for label in labels}
+    for offset, label in enumerate(labels):
+        new_runs = runs[(offset + 1) * len(work):(offset + 2) * len(work)]
+        for (suite, profile, _), base, new in zip(work, base_runs,
+                                                  new_runs):
+            results[label][suite][profile.name] = speedup_of(
+                base, new, suite)
+            for field in _AGGREGATE_FIELDS:
+                aggregates[label][field] += getattr(new.stats, field)
     results["_aggregates"] = aggregates
     return results
 
@@ -146,6 +211,7 @@ def zerodev_config(base: SystemConfig, ratio: Optional[float] = None,
 # ----------------------------------------------------------------------
 # Figures 2 and 3: 1x versus unbounded directory
 # ----------------------------------------------------------------------
+@_instrumented
 def fig2_unbounded_rate() -> Tuple[Table, dict]:
     """Figure 2: traffic / core-cache misses / weighted speedup of rate
     workloads with an unbounded directory, normalized to the 1x baseline.
@@ -157,10 +223,13 @@ def fig2_unbounded_rate() -> Tuple[Table, dict]:
                   "normalized to baseline")
     speedups, traffics, misses = [], [], []
     paper = {"xalancbmk": 1.04}
-    for profile in apps_of("CPU2017"):
-        workload = workload_for(profile, "CPU2017", base_config)
-        base = run_config(base_config, workload)
-        unbd = run_config(unbounded, workload)
+    profiles = apps_of("CPU2017")
+    workloads = [workload_for(p, "CPU2017", base_config)
+                 for p in profiles]
+    runs = run_configs([(base_config, w) for w in workloads]
+                       + [(unbounded, w) for w in workloads])
+    for profile, base, unbd in zip(profiles, runs[:len(workloads)],
+                                   runs[len(workloads):]):
         s = speedup_of(base, unbd, "CPU2017")
         t = unbd.stats.traffic_bytes / max(base.stats.traffic_bytes, 1)
         m = (unbd.stats.core_cache_misses
@@ -182,6 +251,7 @@ def fig2_unbounded_rate() -> Tuple[Table, dict]:
                    "misses": misses}
 
 
+@_instrumented
 def fig3_unbounded_multithreaded() -> Tuple[Table, dict]:
     """Figure 3: the same comparison for the multi-threaded suites."""
     base_config = default_config()
@@ -189,43 +259,49 @@ def fig3_unbounded_multithreaded() -> Tuple[Table, dict]:
         directory=DirectoryConfig(unbounded=True))
     table = Table("Figure 3: unbounded vs 1x directory (multi-threaded)")
     paper = {"freqmine": 0.96}   # forwarded reads make unbounded slower
-    all_speedups = {}
+    work = [(suite, profile, workload_for(profile, suite, base_config))
+            for suite in MT_SUITES for profile in apps_of(suite)]
+    runs = run_configs([(base_config, w) for _, _, w in work]
+                       + [(unbounded, w) for _, _, w in work])
+    all_speedups: Dict[str, List[float]] = {suite: [] for suite in
+                                            MT_SUITES}
+    for (suite, profile, _), base, unbd in zip(work, runs[:len(work)],
+                                               runs[len(work):]):
+        s = speedup_of(base, unbd, suite)
+        all_speedups[suite].append(s)
+        if suite == "PARSEC" or profile.name == "fftw":
+            table.add(f"{profile.name}.speedup", s,
+                      paper=paper.get(profile.name))
     for suite in MT_SUITES:
-        suite_speedups = []
-        for profile in apps_of(suite):
-            workload = workload_for(profile, suite, base_config)
-            base = run_config(base_config, workload)
-            unbd = run_config(unbounded, workload)
-            s = speedup_of(base, unbd, suite)
-            suite_speedups.append(s)
-            if suite == "PARSEC" or profile.name == "fftw":
-                table.add(f"{profile.name}.speedup", s,
-                          paper=paper.get(profile.name))
-        all_speedups[suite] = suite_speedups
-        table.add(f"{suite}-AVG speedup", geomean(suite_speedups),
+        table.add(f"{suite}-AVG speedup", geomean(all_speedups[suite]),
                   paper=1.0, note="paper: 1x is adequate")
     return table, all_speedups
 
 
+@_instrumented
 def fig4_directory_sizes() -> Tuple[Table, dict]:
     """Figure 4: baseline speedup versus sparse-directory size."""
     base_config = default_config()
     ratios = [0.5, 0.125, 1 / 32]
+    sized = [base_config.with_(directory=DirectoryConfig(ratio=ratio))
+             for ratio in ratios]
     table = Table("Figure 4: speedup vs directory size "
                   "(normalized to 1x)")
+    suites = list(MT_SUITES) + ["CPU2017"]
+    work = [(suite, profile, workload_for(profile, suite, base_config))
+            for suite in suites for profile in apps_of(suite)]
+    pairs = [(base_config, w) for _, _, w in work]
+    for config in sized:
+        pairs.extend((config, w) for _, _, w in work)
+    runs = run_configs(pairs)
     results = {}
-    for suite in list(MT_SUITES) + ["CPU2017"]:
-        per_ratio_speedups = [[] for _ in ratios]
-        for profile in apps_of(suite):
-            workload = workload_for(profile, suite, base_config)
-            base = run_config(base_config, workload)
-            for index, ratio in enumerate(ratios):
-                sized = base_config.with_(
-                    directory=DirectoryConfig(ratio=ratio))
-                new = run_config(sized, workload)
-                per_ratio_speedups[index].append(
-                    speedup_of(base, new, suite))
-        per_ratio = [geomean(values) for values in per_ratio_speedups]
+    for si, suite in enumerate(suites):
+        indices = [i for i, (s, _, _) in enumerate(work) if s == suite]
+        per_ratio = []
+        for ri in range(len(ratios)):
+            block = runs[(ri + 1) * len(work):(ri + 2) * len(work)]
+            per_ratio.append(geomean([
+                speedup_of(runs[i], block[i], suite) for i in indices]))
         results[suite] = per_ratio
         for ratio, value in zip(ratios, per_ratio):
             table.add(f"{suite} @ {ratio:.3f}x", value,
@@ -236,12 +312,15 @@ def fig4_directory_sizes() -> Tuple[Table, dict]:
 # ----------------------------------------------------------------------
 # Figures 5 and 6: motivation for directory caching in the LLC
 # ----------------------------------------------------------------------
+@_instrumented
 def fig5_llc_occupancy() -> Tuple[Table, dict]:
     """Figure 5: projected LLC occupancy of spilled directory entries.
 
     Measured as the peak unbounded-directory occupancy beyond the 1x
     capacity, expressed as a percentage of LLC blocks (one entry per
-    block, as the paper projects).
+    block, as the paper projects). Runs serially: the periodic
+    directory-occupancy probe needs the live system, which the parallel
+    layer deliberately does not return.
     """
     table = Table("Figure 5: projected LLC occupancy of spilled "
                   "entries (% of LLC blocks)")
@@ -274,6 +353,7 @@ def fig5_llc_occupancy() -> Tuple[Table, dict]:
     return table, results
 
 
+@_instrumented
 def fig6_llc_ways() -> Tuple[Table, dict]:
     """Figure 6: baseline performance with reduced LLC associativity."""
     base_config = default_config()
@@ -281,19 +361,25 @@ def fig6_llc_ways() -> Tuple[Table, dict]:
                   "(normalized to 16-way)")
     paper_min_12way = {"PARSEC": 0.78, "SPLASH2X": 0.83, "SPECOMP": 0.86,
                       "CPU2017": 0.91}
+    all_ways = (15, 14, 13, 12)
+    reduced = {ways: base_config.with_(llc=CacheGeometry(
+        base_config.llc.size_bytes * ways // 16, ways))
+        for ways in all_ways}
+    suites = list(MT_SUITES) + ["CPU2017"]
+    work = [(suite, profile, workload_for(profile, suite, base_config))
+            for suite in suites for profile in apps_of(suite)]
+    pairs = [(base_config, w) for _, _, w in work]
+    for ways in all_ways:
+        pairs.extend((reduced[ways], w) for _, _, w in work)
+    runs = run_configs(pairs)
     results = {}
-    for suite in list(MT_SUITES) + ["CPU2017"]:
+    for suite in suites:
+        indices = [i for i, (s, _, _) in enumerate(work) if s == suite]
         per_ways = {}
-        for ways in (15, 14, 13, 12):
-            size = base_config.llc.size_bytes * ways // 16
-            reduced = base_config.with_(
-                llc=CacheGeometry(size, ways))
-            speedups = []
-            for profile in apps_of(suite):
-                workload = workload_for(profile, suite, base_config)
-                base = run_config(base_config, workload)
-                new = run_config(reduced, workload)
-                speedups.append(speedup_of(base, new, suite))
+        for wi, ways in enumerate(all_ways):
+            block = runs[(wi + 1) * len(work):(wi + 2) * len(work)]
+            speedups = [speedup_of(runs[i], block[i], suite)
+                        for i in indices]
             per_ways[ways] = (geomean(speedups), min(speedups))
         results[suite] = per_ways
         avg14, _ = per_ways[14]
@@ -309,6 +395,7 @@ def fig6_llc_ways() -> Tuple[Table, dict]:
 # ----------------------------------------------------------------------
 # Figures 17 and 18: policy selection
 # ----------------------------------------------------------------------
+@_instrumented
 def fig17_policy_selection() -> Tuple[Table, dict]:
     """Figure 17: SpillAll vs FPSS vs FuseAll (no sparse directory,
     dataLRU), normalized to the 1x baseline."""
@@ -343,6 +430,7 @@ def fig17_policy_selection() -> Tuple[Table, dict]:
     return table, results
 
 
+@_instrumented
 def fig18_replacement_selection() -> Tuple[Table, dict]:
     """Figure 18: spLRU vs dataLRU at full and half LLC capacity."""
     base_config = default_config()
@@ -381,6 +469,7 @@ def zerodev_vs_directory_size(suites: Iterable[str]
         "1/8x": zerodev_config(base_config, ratio=0.125),
         "NoDir": zerodev_config(base_config, ratio=None),
     }
+    suites = list(suites)
     results = compare_suites(base_config, configs, suites)
     table = Table("ZeroDEV speedup vs baseline (three directory sizes)")
     for suite in suites:
@@ -409,16 +498,19 @@ def zerodev_vs_directory_size(suites: Iterable[str]
     return table, results
 
 
+@_instrumented
 def fig19_parsec() -> Tuple[Table, dict]:
     """Figure 19: ZeroDEV on PARSEC for 1x, 1/8x, and no directory."""
     return zerodev_vs_directory_size(["PARSEC"])
 
 
+@_instrumented
 def fig20_splash_omp_fftw() -> Tuple[Table, dict]:
     """Figure 20: ZeroDEV on SPLASH2X, SPEC OMP, FFTW."""
     return zerodev_vs_directory_size(["SPLASH2X", "SPECOMP", "FFTW"])
 
 
+@_instrumented
 def fig21_cpu2017_rate() -> Tuple[Table, dict]:
     """Figure 21: ZeroDEV on the SPEC CPU 2017 rate workloads."""
     return zerodev_vs_directory_size(["CPU2017"])
@@ -427,30 +519,45 @@ def fig21_cpu2017_rate() -> Tuple[Table, dict]:
 # ----------------------------------------------------------------------
 # Figure 22: LLC capacity sensitivity
 # ----------------------------------------------------------------------
+@_instrumented
 def fig22_llc_capacity() -> Tuple[Table, dict]:
     """Figure 22: ZeroDEV with half-size and double-size LLCs."""
     base_config = default_config()
     table = Table("Figure 22: LLC capacity sensitivity (normalized to "
                   "the default-capacity baseline)")
-    results = {}
+    suites = list(MT_SUITES) + ["CPU2017"]
+    work = [(suite, profile, workload_for(profile, suite, base_config))
+            for suite in suites for profile in apps_of(suite)]
+    variants = []
     for label, factor in (("half", 0.5), ("double", 2.0)):
         llc = CacheGeometry(int(base_config.llc.size_bytes * factor),
                             base_config.llc.ways)
         sized_base = base_config.with_(llc=llc)
-        znodir = zerodev_config(sized_base, ratio=None)
-        zquarter = zerodev_config(sized_base, ratio=0.25)
-        suites = list(MT_SUITES) + ["CPU2017"]
+        variants.append((label, sized_base,
+                         zerodev_config(sized_base, ratio=None),
+                         zerodev_config(sized_base, ratio=0.25)))
+    pairs = [(base_config, w) for _, _, w in work]
+    for _, sized_base, znodir, zquarter in variants:
+        for config in (sized_base, znodir, zquarter):
+            pairs.extend((config, w) for _, _, w in work)
+    runs = run_configs(pairs)
+    references = runs[:len(work)]
+    results = {}
+    block = len(work)
+    for vi, (label, _, _, _) in enumerate(variants):
+        offset = (1 + 3 * vi) * block
+        sized_runs = runs[offset:offset + block]
+        nodir_runs = runs[offset + block:offset + 2 * block]
+        quarter_runs = runs[offset + 2 * block:offset + 3 * block]
         for suite in suites:
-            base_vals, nodir_vals, quarter_vals = [], [], []
-            for profile in apps_of(suite):
-                workload = workload_for(profile, suite, base_config)
-                reference = run_config(base_config, workload)
-                base_vals.append(speedup_of(
-                    reference, run_config(sized_base, workload), suite))
-                nodir_vals.append(speedup_of(
-                    reference, run_config(znodir, workload), suite))
-                quarter_vals.append(speedup_of(
-                    reference, run_config(zquarter, workload), suite))
+            indices = [i for i, (s, _, _) in enumerate(work)
+                       if s == suite]
+            base_vals = [speedup_of(references[i], sized_runs[i], suite)
+                         for i in indices]
+            nodir_vals = [speedup_of(references[i], nodir_runs[i], suite)
+                          for i in indices]
+            quarter_vals = [speedup_of(references[i], quarter_runs[i],
+                                       suite) for i in indices]
             results[(label, suite)] = (geomean(base_vals),
                                        geomean(nodir_vals),
                                        geomean(quarter_vals))
@@ -467,6 +574,7 @@ def fig22_llc_capacity() -> Tuple[Table, dict]:
 # ----------------------------------------------------------------------
 # Figure 23: heterogeneous multi-programmed workloads
 # ----------------------------------------------------------------------
+@_instrumented
 def fig23_heterogeneous(n_mixes: int = 6) -> Tuple[Table, dict]:
     """Figure 23: heterogeneous multi-programmed mixes W1..Wn."""
     base_config = default_config()
@@ -481,13 +589,19 @@ def fig23_heterogeneous(n_mixes: int = 6) -> Tuple[Table, dict]:
     }
     table = Table("Figure 23: heterogeneous mixes, weighted speedup vs "
                   "baseline")
-    results = {label: [] for label in configs}
-    for mix in mixes:
-        base = run_config(base_config, mix)
-        for label, config in configs.items():
-            new = run_config(config, mix)
-            results[label].append(weighted_speedup(
-                base.per_core_cycles, new.per_core_cycles))
+    labels = list(configs)
+    pairs = [(base_config, mix) for mix in mixes]
+    for label in labels:
+        pairs.extend((configs[label], mix) for mix in mixes)
+    runs = run_configs(pairs)
+    base_runs = runs[:len(mixes)]
+    results = {}
+    for offset, label in enumerate(labels):
+        new_runs = runs[(offset + 1) * len(mixes):
+                        (offset + 2) * len(mixes)]
+        results[label] = [
+            weighted_speedup(base.per_core_cycles, new.per_core_cycles)
+            for base, new in zip(base_runs, new_runs)]
     for label, values in results.items():
         table.add(f"{label} GEOMEAN", geomean(values), paper=0.99,
                   note="paper: within 1% on average")
@@ -499,6 +613,7 @@ def fig23_heterogeneous(n_mixes: int = 6) -> Tuple[Table, dict]:
 # ----------------------------------------------------------------------
 # Figure 24: server workloads on a big socket
 # ----------------------------------------------------------------------
+@_instrumented
 def fig24_server(n_cores: int = 32) -> Tuple[Table, dict]:
     """Figure 24 (scaled): the paper's socket has 128 cores with a 32 MB
     LLC and 128 KB L2s; we default to 32 cores for Python runtime, with
@@ -523,20 +638,27 @@ def fig24_server(n_cores: int = 32) -> Tuple[Table, dict]:
     }
     table = Table(f"Figure 24: server workloads ({n_cores}-core socket)")
     paper = {"SPECWeb-S": 0.986}
-    results = {label: {} for label in configs}
+    labels = list(configs)
     server_accesses = max(accesses_per_core() // 2, 1000)
-    for profile in apps_of("SERVER"):
-        workload = make_server_workload(profile, config, server_accesses,
-                                        seed=23)
-        base = run_config(config, workload)
-        for label, cfg in configs.items():
-            new = run_config(cfg, workload)
+    profiles = apps_of("SERVER")
+    workloads = [make_server_workload(p, config, server_accesses,
+                                      seed=23) for p in profiles]
+    pairs = [(config, w) for w in workloads]
+    for label in labels:
+        pairs.extend((configs[label], w) for w in workloads)
+    runs = run_configs(pairs)
+    base_runs = runs[:len(workloads)]
+    results = {label: {} for label in labels}
+    for offset, label in enumerate(labels):
+        new_runs = runs[(offset + 1) * len(workloads):
+                        (offset + 2) * len(workloads)]
+        for profile, base, new in zip(profiles, base_runs, new_runs):
             s = speedup_of(base, new, "SERVER")
             results[label][profile.name] = s
             if label == "NoDir":
                 table.add(f"{profile.name} NoDir", s,
                           paper=paper.get(profile.name))
-    for label in configs:
+    for label in labels:
         table.add(f"{label} GEOMEAN",
                   geomean(list(results[label].values())), paper=0.99,
                   note="paper: within 1% avg; max slowdown 1.4%")
@@ -546,6 +668,7 @@ def fig24_server(n_cores: int = 32) -> Tuple[Table, dict]:
 # ----------------------------------------------------------------------
 # Figure 25: EPD and inclusive LLC designs
 # ----------------------------------------------------------------------
+@_instrumented
 def fig25_epd_inclusive() -> Tuple[Table, dict]:
     base_config = default_config()
     epd = base_config.with_(llc_design=LLCDesign.EPD)
@@ -570,8 +693,9 @@ def fig25_epd_inclusive() -> Tuple[Table, dict]:
     # Forced-invalidation elimination in the inclusive design.
     profile = apps_of("PARSEC")[0]
     workload = workload_for(profile, "PARSEC", base_config)
-    base_run = run_config(inclusive, workload)
-    zdev_run = run_config(zerodev_config(inclusive, ratio=None), workload)
+    base_run, zdev_run = run_configs(
+        [(inclusive, workload),
+         (zerodev_config(inclusive, ratio=None), workload)])
     base_forced = (base_run.stats.inclusion_invalidations
                    + base_run.stats.dev_invalidations)
     zdev_forced = (zdev_run.stats.inclusion_invalidations
@@ -587,6 +711,7 @@ def fig25_epd_inclusive() -> Tuple[Table, dict]:
 # ----------------------------------------------------------------------
 # Figures 26 and 27: comparisons with MgD and SecDir
 # ----------------------------------------------------------------------
+@_instrumented
 def fig26_mgd() -> Tuple[Table, dict]:
     base_config = default_config()
     configs = {
@@ -613,6 +738,7 @@ def fig26_mgd() -> Tuple[Table, dict]:
     return table, results
 
 
+@_instrumented
 def fig27_secdir() -> Tuple[Table, dict]:
     base_config = default_config()
     configs = {
@@ -657,6 +783,7 @@ def fig27_secdir() -> Tuple[Table, dict]:
 # ----------------------------------------------------------------------
 # Section V extras: energy and multi-socket
 # ----------------------------------------------------------------------
+@_instrumented
 def energy_comparison() -> Tuple[Table, dict]:
     """Section V 'Energy Expense': directory+LLC energy of no-directory
     ZeroDEV versus the 1x baseline (paper: ~9% saving)."""
@@ -664,22 +791,23 @@ def energy_comparison() -> Tuple[Table, dict]:
     znodir = zerodev_config(base_config, ratio=None)
     table = Table("Energy: directory+LLC energy, ZeroDEV-NoDir vs "
                   "baseline")
+    workloads = [workload_for(profile, suite, base_config)
+                 for suite in list(MT_SUITES) + ["CPU2017"]
+                 for profile in apps_of(suite)]
+    runs = run_configs([(base_config, w) for w in workloads]
+                       + [(znodir, w) for w in workloads])
     ratios = []
-    for suite in list(MT_SUITES) + ["CPU2017"]:
-        for profile in apps_of(suite):
-            workload = workload_for(profile, suite, base_config)
-            base = run_config(base_config, workload)
-            zdev = run_config(znodir, workload)
-            base_energy = estimate_energy(base_config, base.stats)
-            zdev_energy = estimate_energy(znodir, zdev.stats)
-            ratios.append(zdev_energy["total_j"]
-                          / base_energy["total_j"])
+    for base, zdev in zip(runs[:len(workloads)], runs[len(workloads):]):
+        base_energy = estimate_energy(base_config, base.stats)
+        zdev_energy = estimate_energy(znodir, zdev.stats)
+        ratios.append(zdev_energy["total_j"] / base_energy["total_j"])
     saving = 1.0 - sum(ratios) / len(ratios)
     table.add("average energy saving", saving, paper=0.09,
               note="paper: ~9% of directory+LLC energy")
     return table, {"saving": saving, "ratios": ratios}
 
 
+@_instrumented
 def multisocket_comparison(n_sockets: int = 4) -> Tuple[Table, dict]:
     """Section V 'Multi-socket Evaluation': four sockets, ZeroDEV with no
     intra-socket directory within 1.6% of the 1x baseline."""

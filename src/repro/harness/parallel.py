@@ -1,0 +1,147 @@
+"""Parallel fan-out of independent simulation runs.
+
+Trace-driven coherence simulation is embarrassingly parallel across
+independent ``(SystemConfig, Workload)`` runs: no state is shared, and
+every run is deterministic. :func:`run_many` exploits that by fanning a
+batch of runs over a ``multiprocessing`` pool. Workers rebuild the system
+from the (picklable) config, run the workload, and ship back a *detached*
+:class:`~repro.harness.runner.RunResult` -- stats only, never a live
+``CMPSystem``.
+
+Guarantees:
+
+* **Deterministic ordering** -- results are returned in request order
+  regardless of worker completion order.
+* **Bit-identical to serial** -- the simulator is deterministic, so the
+  parallel path produces exactly the stats the ``jobs=1`` serial
+  fallback produces (asserted by ``tests/test_parallel_cache.py``).
+* **Run-once memoization** -- duplicate requests in a batch are executed
+  once, and the session :class:`~repro.harness.result_cache.ResultCache`
+  memoizes across batches (so figure after figure reuses the shared
+  baseline runs).
+
+``jobs`` defaults to ``REPRO_JOBS`` (see the ``--jobs`` CLI flag);
+``jobs=1`` runs serially in-process with no pool at all.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.common.config import SystemConfig
+from repro.harness.result_cache import ResultCache, run_key, session_cache
+from repro.harness.runner import RunResult, run_workload
+from repro.harness.system_builder import build_system
+from repro.workloads.trace import Workload
+
+#: One requested run: (config, workload).
+RunSpec = Tuple[SystemConfig, Workload]
+
+#: Sentinel distinguishing "use the session cache" from "no cache".
+USE_SESSION_CACHE = object()
+
+#: Session telemetry: totals over every run_many() call in this process.
+_telemetry = {"runs": 0, "cache_hits": 0, "wall_seconds": 0.0,
+              "accesses": 0}
+
+
+def telemetry_snapshot() -> Dict[str, float]:
+    """Copy of the running totals (pair with :func:`telemetry_since`)."""
+    return dict(_telemetry)
+
+
+def telemetry_since(before: Dict[str, float]) -> Dict[str, float]:
+    """Telemetry delta since a snapshot taken earlier."""
+    return {key: _telemetry[key] - before[key] for key in _telemetry}
+
+
+def default_jobs() -> int:
+    """Worker count from ``REPRO_JOBS`` (default 1: serial)."""
+    return max(1, int(os.environ.get("REPRO_JOBS", "1")))
+
+
+def execute_run(spec: RunSpec) -> RunResult:
+    """Build the system for ``spec`` and run it (detached result)."""
+    config, workload = spec
+    return run_workload(build_system(config), workload).detached()
+
+
+def _pool_worker(job: Tuple[int, RunSpec]) -> Tuple[int, RunResult]:
+    index, spec = job
+    return index, execute_run(spec)
+
+
+def _pool_context():
+    # fork shares the already-imported interpreter image (cheap startup
+    # and no re-import of numpy per worker); fall back where unavailable.
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else None)
+
+
+def run_many(specs: Sequence[RunSpec], jobs: Optional[int] = None,
+             cache=USE_SESSION_CACHE) -> List[RunResult]:
+    """Run every ``(config, workload)`` spec; results in request order.
+
+    ``jobs=None`` reads ``REPRO_JOBS``; ``jobs=1`` is the serial
+    fallback. ``cache=None`` disables memoization (every spec is
+    executed); by default the session cache is consulted and filled.
+    """
+    specs = list(specs)
+    if jobs is None:
+        jobs = default_jobs()
+    if cache is USE_SESSION_CACHE:
+        cache = session_cache()
+    results: List[Optional[RunResult]] = [None] * len(specs)
+
+    # Resolve cache hits and collapse duplicate specs to one execution.
+    pending: List[Tuple[int, RunSpec]] = []
+    keys: Dict[int, str] = {}
+    first_index_for_key: Dict[str, int] = {}
+    aliases: Dict[int, int] = {}
+    for index, spec in enumerate(specs):
+        if cache is None:
+            pending.append((index, spec))
+            continue
+        key = run_key(spec[0], spec[1])
+        keys[index] = key
+        hit = cache.get(key)
+        if hit is not None:
+            results[index] = hit
+            continue
+        first = first_index_for_key.setdefault(key, index)
+        if first != index:
+            aliases[index] = first
+        else:
+            pending.append((index, spec))
+
+    executed = 0
+    if pending:
+        effective = min(jobs, len(pending), os.cpu_count() or 1)
+        if effective > 1:
+            context = _pool_context()
+            with context.Pool(effective) as pool:
+                for index, result in pool.imap_unordered(
+                        _pool_worker, pending, chunksize=1):
+                    results[index] = result
+        else:
+            for index, spec in pending:
+                results[index] = execute_run(spec)
+        executed = len(pending)
+        if cache is not None:
+            for index, _spec in pending:
+                cache.put(keys[index], results[index])
+            for index, first in aliases.items():
+                results[index] = RunResult(
+                    results[first].workload, results[first].stats, None,
+                    results[first].wall_seconds, cached=True)
+
+    _telemetry["runs"] += executed
+    _telemetry["cache_hits"] += len(specs) - executed
+    _telemetry["wall_seconds"] += sum(
+        results[index].wall_seconds for index, _ in pending)
+    _telemetry["accesses"] += sum(
+        results[index].stats.total_accesses for index, _ in pending)
+    return results  # type: ignore[return-value]

@@ -8,7 +8,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 
 def geomean(values: Sequence[float]) -> float:
@@ -39,10 +39,17 @@ class Row:
 
 @dataclass
 class Table:
-    """A titled collection of rows, printable and diffable."""
+    """A titled collection of rows, printable and diffable.
+
+    ``metadata`` carries run telemetry (wall-clock, simulated accesses
+    per second, cache hits, worker count) so future perf work has an
+    archived baseline to regress against; it is included in
+    :meth:`to_dict` and therefore in every ``results/*.json`` artifact.
+    """
 
     title: str
     rows: List[Row] = field(default_factory=list)
+    metadata: Dict[str, object] = field(default_factory=dict)
 
     def add(self, label: str, measured: float,
             paper: Optional[float] = None, unit: str = "",
@@ -69,6 +76,7 @@ class Table:
                  "paper": row.paper, "unit": row.unit, "note": row.note}
                 for row in self.rows
             ],
+            "metadata": dict(self.metadata),
         }
 
 

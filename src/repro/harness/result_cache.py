@@ -1,0 +1,147 @@
+"""Content-addressed memoization of simulation runs.
+
+A run is fully determined by its inputs: the simulator is deterministic,
+so ``(SystemConfig, Workload)`` -> ``SystemStats`` is a pure function.
+The cache keys runs by a stable SHA-256 over the canonicalized config
+(every dataclass field, enums by name) and the exact trace content
+(op-code and address array bytes per core). Workload *names* do not
+participate in the key -- two identically generated workloads hit the
+same entry even if labelled differently -- and any knob that changes the
+run (``REPRO_ACCESSES`` via trace length, ``REPRO_SCALE`` via the config
+capacities) changes the key automatically.
+
+Two tiers:
+
+* in-process memoization (always on), so the reference/baseline
+  configurations shared by fig17-fig27 are simulated once per session;
+* an optional on-disk tier under ``REPRO_CACHE_DIR`` that persists
+  detached :class:`~repro.harness.runner.RunResult` payloads across
+  sessions (pickle, atomically written).
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+import os
+import pickle
+import tempfile
+from dataclasses import fields, is_dataclass
+from pathlib import Path
+from typing import Dict, Optional
+
+from repro.common.config import SystemConfig
+from repro.harness.runner import RunResult
+from repro.workloads.trace import Workload
+
+_CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def _canonical(value):
+    """A stable, hashable-by-repr form of configuration values."""
+    if is_dataclass(value) and not isinstance(value, type):
+        return (type(value).__name__,
+                tuple((f.name, _canonical(getattr(value, f.name)))
+                      for f in fields(value)))
+    if isinstance(value, enum.Enum):
+        return (type(value).__name__, value.name)
+    if isinstance(value, dict):
+        return tuple(sorted((k, _canonical(v)) for k, v in value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(_canonical(v) for v in value)
+    return value
+
+
+def run_key(config: SystemConfig, workload: Workload, **extra) -> str:
+    """Stable content hash identifying one run."""
+    digest = hashlib.sha256()
+    digest.update(repr(_canonical(config)).encode())
+    digest.update(repr(_canonical(extra)).encode())
+    digest.update(str(workload.n_cores).encode())
+    for trace in workload.traces:
+        digest.update(str(trace.core).encode())
+        digest.update(trace.ops.tobytes())
+        digest.update(trace.addresses.tobytes())
+    return digest.hexdigest()
+
+
+class ResultCache:
+    """Memoizes detached run results in memory and optionally on disk."""
+
+    def __init__(self, directory: Optional[os.PathLike] = None) -> None:
+        self._memo: Dict[str, RunResult] = {}
+        self.directory = Path(directory) if directory else None
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._memo)
+
+    def _path(self, key: str) -> Path:
+        assert self.directory is not None
+        return self.directory / f"{key}.pkl"
+
+    def get(self, key: str) -> Optional[RunResult]:
+        result = self._memo.get(key)
+        if result is None and self.directory is not None:
+            path = self._path(key)
+            if path.is_file():
+                try:
+                    with path.open("rb") as handle:
+                        result = pickle.load(handle)
+                except Exception:
+                    # Corrupt/partial/stale file: recompute. Decoding a
+                    # damaged pickle can raise nearly anything
+                    # (UnpicklingError, ValueError, EOFError, ...).
+                    result = None
+                else:
+                    self._memo[key] = result
+        if result is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return RunResult(result.workload, result.stats, None,
+                         result.wall_seconds, cached=True)
+
+    def put(self, key: str, result: RunResult) -> None:
+        detached = result.detached()
+        self._memo[key] = detached
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            # Atomic publish: never expose a half-written pickle.
+            fd, temp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    pickle.dump(detached, handle,
+                                protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(temp, self._path(key))
+            except OSError:
+                try:
+                    os.unlink(temp)
+                except OSError:
+                    pass
+
+    def clear(self) -> None:
+        self._memo.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+_session: Optional[ResultCache] = None
+
+
+def session_cache() -> ResultCache:
+    """The process-wide cache (disk-backed iff ``REPRO_CACHE_DIR`` set)."""
+    global _session
+    directory = os.environ.get(_CACHE_DIR_ENV) or None
+    if _session is None or (
+            (_session.directory and str(_session.directory) or None)
+            != directory):
+        _session = ResultCache(directory)
+    return _session
+
+
+def reset_session_cache() -> None:
+    """Drop the process-wide cache (tests, scale changes mid-process)."""
+    global _session
+    _session = None

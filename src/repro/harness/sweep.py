@@ -4,19 +4,35 @@ A :class:`Sweep` runs a fixed set of workloads across a family of
 configurations (one per parameter value), collecting speedups against a
 reference configuration and any requested counters. The sizing example
 and the ablation benches are built on this.
+
+All runs go through :func:`repro.harness.parallel.run_many`: one batch
+per ``run()`` call (reference runs first, then every point), so a sweep
+parallelizes across points and workloads and shares baseline runs with
+any other harness user via the session result cache. Baselines are
+retained as cycle summaries only -- never as live systems -- so long
+sweeps do not accumulate simulator state.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.common.config import SystemConfig
-from repro.common.stats import weighted_speedup
+from repro.common.stats import SystemStats, weighted_speedup
+from repro.harness.parallel import run_many
 from repro.harness.reporting import geomean
-from repro.harness.runner import RunResult, run_workload
-from repro.harness.system_builder import build_system
+from repro.harness.system_builder import build_system  # noqa: F401  (API)
 from repro.workloads.trace import Workload
+
+
+@dataclass(frozen=True)
+class BaselineSummary:
+    """The reference-run numbers a speedup computation needs -- nothing
+    else (a full RunResult used to pin a live CMPSystem per workload)."""
+
+    total_cycles: int
+    per_core_cycles: Tuple[int, ...]
 
 
 @dataclass
@@ -30,6 +46,13 @@ class SweepPoint:
     @property
     def geomean_speedup(self) -> float:
         return geomean(list(self.speedups.values()))
+
+    def accumulate_counters(self, names: Sequence[str],
+                            stats: SystemStats) -> None:
+        """Add this run's requested counters into the point's totals."""
+        for name in names:
+            self.counters[name] = (self.counters.get(name, 0)
+                                   + getattr(stats, name))
 
 
 class Sweep:
@@ -45,44 +68,56 @@ class Sweep:
         Names of :class:`SystemStats` fields to accumulate per point.
     multiprog:
         Use weighted speedup (per-core ratios) instead of makespan.
+    jobs:
+        Worker processes per batch (None: the ``REPRO_JOBS`` default).
     """
 
     def __init__(self, reference: SystemConfig,
                  config_for: Callable[[object], SystemConfig],
                  counters: Sequence[str] = (),
-                 multiprog: bool = False) -> None:
+                 multiprog: bool = False,
+                 jobs: Optional[int] = None) -> None:
         self._reference = reference
         self._config_for = config_for
         self._counters = tuple(counters)
         self._multiprog = multiprog
-        self._baselines: Dict[str, RunResult] = {}
+        self._jobs = jobs
+        self._baselines: Dict[str, BaselineSummary] = {}
 
-    def _baseline(self, workload: Workload) -> RunResult:
-        result = self._baselines.get(workload.name)
-        if result is None:
-            result = run_workload(build_system(self._reference), workload)
-            self._baselines[workload.name] = result
-        return result
+    def _ensure_baselines(self,
+                          workloads: Sequence[Workload]) -> None:
+        missing = [w for w in workloads if w.name not in self._baselines]
+        if not missing:
+            return
+        runs = run_many([(self._reference, w) for w in missing],
+                        jobs=self._jobs)
+        for workload, run in zip(missing, runs):
+            self._baselines[workload.name] = BaselineSummary(
+                run.cycles, tuple(run.per_core_cycles))
+
+    def _speedup(self, base: BaselineSummary, stats: SystemStats) -> float:
+        if self._multiprog:
+            return weighted_speedup(list(base.per_core_cycles),
+                                    list(stats.cycles))
+        return (base.total_cycles / stats.total_cycles
+                if stats.total_cycles else 1.0)
 
     def run(self, values: Sequence[object],
             workloads: Sequence[Workload]) -> List[SweepPoint]:
+        self._ensure_baselines(workloads)
+        configs = [self._config_for(value) for value in values]
+        runs = run_many([(config, workload)
+                         for config in configs
+                         for workload in workloads], jobs=self._jobs)
         points = []
+        cursor = iter(runs)
         for value in values:
             point = SweepPoint(value)
-            config = self._config_for(value)
             for workload in workloads:
-                base = self._baseline(workload)
-                result = run_workload(build_system(config), workload)
-                if self._multiprog:
-                    speedup = weighted_speedup(base.per_core_cycles,
-                                               result.per_core_cycles)
-                else:
-                    speedup = (base.cycles / result.cycles
-                               if result.cycles else 1.0)
-                point.speedups[workload.name] = speedup
-                for counter in self._counters:
-                    point.counters[counter] = (
-                        point.counters.get(counter, 0)
-                        + getattr(result.stats, counter))
+                result = next(cursor)
+                base = self._baselines[workload.name]
+                point.speedups[workload.name] = self._speedup(
+                    base, result.stats)
+                point.accumulate_counters(self._counters, result.stats)
             points.append(point)
         return points

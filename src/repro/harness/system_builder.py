@@ -24,7 +24,10 @@ def _mesh_for(config: SystemConfig) -> MeshConfig:
 
 def build_system(config: SystemConfig) -> CMPSystem:
     """Build the system implementing ``config.protocol``."""
-    config = config.with_(mesh=_mesh_for(config))
+    mesh = _mesh_for(config)
+    if mesh is not config.mesh:
+        # Only re-validate the config when the mesh actually resizes.
+        config = config.with_(mesh=mesh)
     if config.protocol is Protocol.BASELINE:
         return CMPSystem(config)
     if config.protocol is Protocol.ZERODEV:

@@ -1,0 +1,32 @@
+"""Tier-1 shape check for the harness throughput benchmark.
+
+Runs :func:`benchmarks.test_harness_perf.measure` at tiny scale into a
+temporary trajectory file. Only structure and internal consistency are
+asserted -- never absolute timings or a parallel-beats-serial ordering
+(CI machines may have one CPU) -- so the check cannot flake.
+"""
+
+import json
+
+
+def test_measure_entry_shape(tmp_path):
+    from benchmarks.test_harness_perf import MAX_HISTORY, measure
+
+    path = tmp_path / "BENCH_harness.json"
+    entry = measure(accesses=120, jobs=2, path=path)
+    assert entry["runs"] == 8
+    assert entry["accesses_total"] == 8 * 8 * 120   # specs * cores * n
+    assert entry["jobs"] == 2
+    for field in ("serial_seconds", "parallel_seconds", "cached_seconds"):
+        assert entry[field] >= 0
+    assert entry["serial_accesses_per_second"] > 0
+
+    history = json.loads(path.read_text())
+    assert history[-1] == entry
+
+    # Appending preserves the trajectory and respects the history cap.
+    measure(accesses=120, jobs=1, path=path)
+    history = json.loads(path.read_text())
+    assert len(history) == 2
+    assert len(history) <= MAX_HISTORY
+    assert history[0] == entry

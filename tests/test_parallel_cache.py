@@ -1,0 +1,225 @@
+"""Tests for the parallel run layer and the content-addressed cache.
+
+The load-bearing property is *bit-identical determinism*: the heap
+scheduler must replay the seed's linear-scan interleaving exactly, the
+multiprocessing path must reproduce the serial path exactly, and cached
+results must be indistinguishable (statistically) from fresh ones. Each
+is asserted here against small fig17-style comparisons.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.config import DirCachingPolicy, DirectoryConfig
+from repro.harness.parallel import run_many
+from repro.harness.result_cache import (ResultCache, run_key,
+                                        reset_session_cache,
+                                        session_cache)
+from repro.harness.runner import RunResult, run_workload
+from repro.harness.sweep import BaselineSummary, Sweep
+from repro.harness.system_builder import build_system
+from repro.workloads import make_multithreaded
+from repro.workloads.suites import find_profile
+from repro.workloads.trace import OP_BY_CODE, Workload
+
+from tests.conftest import tiny_config, zerodev_config
+
+
+def small_workload(name="blackscholes", accesses=250, seed=3):
+    return make_multithreaded(find_profile(name), tiny_config(),
+                              accesses, seed=seed)
+
+
+def fig17_style_specs():
+    """Baseline + the three ZeroDEV policies, over two workloads."""
+    base = tiny_config()
+    policies = (DirCachingPolicy.SPILL_ALL, DirCachingPolicy.FPSS,
+                DirCachingPolicy.FUSE_ALL)
+    configs = [base] + [zerodev_config(dir_caching=policy)
+                        for policy in policies]
+    workloads = [small_workload("blackscholes"),
+                 small_workload("canneal")]
+    return [(config, workload) for config in configs
+            for workload in workloads]
+
+
+@pytest.fixture(autouse=True)
+def fresh_session_cache():
+    reset_session_cache()
+    yield
+    reset_session_cache()
+
+
+def stats_dicts(results):
+    return [result.stats.as_dict() for result in results]
+
+
+class TestLinearScanEquivalence:
+    def test_heap_matches_reference_linear_scan(self):
+        """The heap scheduler replays the seed's O(n) min-clock scan."""
+        config = tiny_config()
+        workload = small_workload("freqmine", accesses=400)
+
+        reference = build_system(config)
+        traces = workload.traces
+        positions = [0] * len(traces)
+        lengths = [len(trace) for trace in traces]
+        # The original runner: scan for the lowest-clock unfinished core
+        # (ties to the lowest index) and issue its next reference.
+        while True:
+            best, best_clock = -1, None
+            for core in range(len(traces)):
+                if positions[core] >= lengths[core]:
+                    continue
+                clock = reference.stats.cycles[core]
+                if best_clock is None or clock < best_clock:
+                    best, best_clock = core, clock
+            if best < 0:
+                break
+            trace = traces[best]
+            index = positions[best]
+            reference.access(best, OP_BY_CODE[trace.ops[index]],
+                             int(trace.addresses[index]))
+            positions[best] += 1
+
+        heap_run = run_workload(build_system(config), workload)
+        assert heap_run.stats.as_dict() == reference.stats.as_dict()
+
+
+class TestRunMany:
+    def test_serial_matches_individual_runs(self):
+        specs = fig17_style_specs()
+        expected = [run_workload(build_system(config), workload).stats
+                    for config, workload in specs]
+        results = run_many(specs, jobs=1, cache=None)
+        assert [r.workload for r in results] == [w.name for _, w in specs]
+        assert stats_dicts(results) == [s.as_dict() for s in expected]
+
+    def test_parallel_bit_identical_to_serial(self):
+        specs = fig17_style_specs()
+        serial = run_many(specs, jobs=1, cache=None)
+        parallel = run_many(specs, jobs=4, cache=None)
+        assert stats_dicts(parallel) == stats_dicts(serial)
+        assert ([r.workload for r in parallel]
+                == [r.workload for r in serial])
+
+    def test_parallel_results_are_detached(self):
+        results = run_many(fig17_style_specs()[:2], jobs=4, cache=None)
+        assert all(result.system is None for result in results)
+
+    def test_speedups_identical_serial_vs_parallel(self):
+        """A fig17-style speedup table is unchanged by parallelism."""
+        specs = fig17_style_specs()
+        n_workloads = 2
+
+        def speedups(results):
+            base = results[:n_workloads]
+            return [base[i % n_workloads].cycles / results[i].cycles
+                    for i in range(n_workloads, len(results))]
+
+        assert (speedups(run_many(specs, jobs=4, cache=None))
+                == speedups(run_many(specs, jobs=1, cache=None)))
+
+    def test_duplicate_specs_run_once(self):
+        config = tiny_config()
+        workload = small_workload()
+        cache = ResultCache()
+        first, second = run_many([(config, workload)] * 2, jobs=1,
+                                 cache=cache)
+        assert len(cache) == 1             # one execution, one alias
+        assert not first.cached and second.cached
+        assert second.stats.as_dict() == first.stats.as_dict()
+
+
+class TestResultCache:
+    def test_second_batch_is_served_from_cache(self):
+        specs = fig17_style_specs()[:4]
+        cache = ResultCache()
+        fresh = run_many(specs, jobs=1, cache=cache)
+        cached = run_many(specs, jobs=1, cache=cache)
+        assert all(not r.cached for r in fresh)
+        assert all(r.cached for r in cached)
+        assert stats_dicts(cached) == stats_dicts(fresh)
+
+    def test_session_cache_shared_across_batches(self):
+        spec = (tiny_config(), small_workload())
+        assert not run_many([spec], jobs=1)[0].cached
+        assert run_many([spec], jobs=1)[0].cached
+        assert len(session_cache()) == 1
+
+    def test_disk_cache_survives_new_instance(self, tmp_path):
+        config, workload = tiny_config(), small_workload()
+        key = run_key(config, workload)
+        writer = ResultCache(tmp_path)
+        run_many([(config, workload)], jobs=1, cache=writer)
+        reader = ResultCache(tmp_path)
+        hit = reader.get(key)
+        assert hit is not None and hit.cached
+        fresh = run_workload(build_system(config), workload)
+        assert hit.stats.as_dict() == fresh.stats.as_dict()
+
+    @pytest.mark.parametrize("garbage", [
+        b"not a pickle",      # UnpicklingError
+        b"garbage\n",         # ValueError ('g' opcode parses an int line)
+        b"",                  # EOFError
+    ])
+    def test_corrupt_disk_entry_recomputed(self, tmp_path, garbage):
+        config, workload = tiny_config(), small_workload()
+        key = run_key(config, workload)
+        (tmp_path / f"{key}.pkl").write_bytes(garbage)
+        cache = ResultCache(tmp_path)
+        assert cache.get(key) is None
+        result = run_many([(config, workload)], jobs=1, cache=cache)[0]
+        assert not result.cached
+
+
+class TestRunKey:
+    def test_key_is_content_addressed(self):
+        config = tiny_config()
+        assert (run_key(config, small_workload(seed=3))
+                == run_key(config, small_workload(seed=3)))
+
+    def test_key_ignores_workload_name(self):
+        config = tiny_config()
+        renamed = small_workload()
+        renamed = Workload("other-label", renamed.traces)
+        assert run_key(config, small_workload()) == run_key(config,
+                                                            renamed)
+
+    def test_key_changes_with_inputs(self):
+        config = tiny_config()
+        workload = small_workload()
+        baseline = run_key(config, workload)
+        assert run_key(config, small_workload(seed=4)) != baseline
+        assert run_key(config, small_workload(accesses=300)) != baseline
+        assert run_key(zerodev_config(), workload) != baseline
+        assert run_key(
+            config.with_(directory=DirectoryConfig(ratio=0.5)),
+            workload) != baseline
+
+
+class TestSweepBaselines:
+    def test_baselines_are_summaries_not_systems(self):
+        reference = tiny_config()
+        sweep = Sweep(reference, lambda r: reference.with_(
+            directory=DirectoryConfig(ratio=r)))
+        workload = small_workload("canneal", 300)
+        points = sweep.run([1.0, 0.125], [workload])
+        assert len(points) == 2
+        summary = sweep._baselines[workload.name]
+        assert isinstance(summary, BaselineSummary)
+        assert summary.total_cycles > 0
+        # Re-running reuses the summary (still exactly one entry).
+        sweep.run([0.5], [workload])
+        assert len(sweep._baselines) == 1
+
+
+class TestRunResult:
+    def test_detached_drops_live_system(self):
+        run = run_workload(build_system(tiny_config()), small_workload())
+        assert run.system is not None and run.wall_seconds > 0
+        detached = run.detached()
+        assert detached.system is None
+        assert detached.stats is run.stats
+        assert detached.wall_seconds == run.wall_seconds
