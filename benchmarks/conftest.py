@@ -12,17 +12,22 @@ import json
 import os
 from pathlib import Path
 
+from repro.common.ioutil import atomic_write_text
+
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
 
 
 def run_experiment(benchmark, experiment, name: str):
     """Run ``experiment`` once under the benchmark fixture; returns the
-    (table, results) pair and archives the table as text and JSON."""
+    (table, results) pair and archives the table as text and JSON.
+
+    Archives are published atomically (write-temp-then-rename) so an
+    interrupted benchmark never leaves a half-written table behind."""
     outcome = benchmark.pedantic(experiment, rounds=1, iterations=1)
     table, results = outcome
     table.show()
     RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / f"{name}.txt").write_text(table.render() + "\n")
-    (RESULTS_DIR / f"{name}.json").write_text(
-        json.dumps(table.to_dict(), indent=1) + "\n")
+    atomic_write_text(RESULTS_DIR / f"{name}.txt", table.render() + "\n")
+    atomic_write_text(RESULTS_DIR / f"{name}.json",
+                      json.dumps(table.to_dict(), indent=1) + "\n")
     return table, results

@@ -21,6 +21,7 @@ from time import perf_counter
 from repro.common.config import (CacheGeometry, DirCachingPolicy,
                                  DirectoryConfig, LLCReplacement,
                                  Protocol, SystemConfig)
+from repro.common.ioutil import atomic_write_text
 from repro.harness.parallel import run_many
 from repro.harness.result_cache import ResultCache
 from repro.workloads import make_multithreaded
@@ -113,8 +114,8 @@ def measure(accesses: int = 4000, jobs: int = 4, path=None) -> dict:
                 history = []
         history.append(entry)
         path.parent.mkdir(exist_ok=True)
-        path.write_text(json.dumps(history[-MAX_HISTORY:], indent=1)
-                        + "\n")
+        atomic_write_text(path, json.dumps(history[-MAX_HISTORY:],
+                                           indent=1) + "\n")
     return entry
 
 

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""CI smoke check: jobs=1 and jobs=2 batches must be stat-identical.
+
+Runs a small fig17-style batch (baseline + ZeroDEV over two workloads)
+serially and through the multiprocessing pool, with caching disabled so
+both paths actually simulate, and fails loudly on the first divergent
+stat. The simulator is deterministic, so any difference is a harness
+bug (scheduling, pickling, or result-ordering), not noise.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.common.config import (CacheGeometry, DirCachingPolicy,
+                                 DirectoryConfig, LLCReplacement,
+                                 Protocol, SystemConfig)
+from repro.harness.parallel import run_many
+from repro.workloads import make_multithreaded
+from repro.workloads.suites import find_profile
+
+
+def tiny(**overrides) -> SystemConfig:
+    base = dict(
+        n_cores=4,
+        l1i=CacheGeometry(512, 2), l1d=CacheGeometry(512, 2),
+        l2=CacheGeometry(2048, 4), llc=CacheGeometry(8192, 4),
+        llc_banks=2,
+    )
+    base.update(overrides)
+    return SystemConfig(**base)
+
+
+def main() -> int:
+    zerodev = tiny(protocol=Protocol.ZERODEV,
+                   directory=DirectoryConfig(ratio=None),
+                   llc_replacement=LLCReplacement.DATA_LRU,
+                   dir_caching=DirCachingPolicy.FPSS)
+    workloads = [make_multithreaded(find_profile(name), tiny(), 600,
+                                    seed=13)
+                 for name in ("blackscholes", "canneal")]
+    specs = [(config, workload) for config in (tiny(), zerodev)
+             for workload in workloads]
+
+    serial = run_many(specs, jobs=1, cache=None)
+    parallel = run_many(specs, jobs=2, cache=None)
+
+    for index, (a, b) in enumerate(zip(serial, parallel)):
+        if a.stats.as_dict() != b.stats.as_dict():
+            print(f"FAIL: spec {index} ({a.workload}) diverged between "
+                  f"jobs=1 and jobs=2", file=sys.stderr)
+            left, right = a.stats.as_dict(), b.stats.as_dict()
+            for key in left:
+                if left[key] != right.get(key):
+                    print(f"  {key}: serial={left[key]} "
+                          f"parallel={right.get(key)}", file=sys.stderr)
+            return 1
+    print(f"OK: {len(specs)} runs bit-identical between jobs=1 and "
+          f"jobs=2")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

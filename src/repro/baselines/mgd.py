@@ -36,6 +36,7 @@ from repro.common.addressing import set_index
 from repro.common.config import Protocol
 from repro.common.errors import ProtocolInvariantError
 from repro.common.messages import MessageType as MT
+from repro.obs.events import InvCause
 from repro.workloads.trace import Op
 
 
@@ -246,7 +247,8 @@ class MgDSystem(CMPSystem):
                 self.stats.invalidations_sent += 1
                 self.mesh.send(
                     MT.INV, self.mesh.core_to_bank(sharer, bank.bank_id))
-                line = self.cores[sharer].invalidate(block)
+                line = self.cores[sharer].invalidate(
+                    block, cause=InvCause.DEV)
                 assert line is not None
                 if line.state is MESI.M:
                     self.mesh.send(MT.WRITEBACK, self.mesh.core_to_bank(

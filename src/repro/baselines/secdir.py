@@ -34,6 +34,7 @@ from repro.common.addressing import set_index
 from repro.common.config import Protocol, SystemConfig
 from repro.common.errors import ConfigError, ProtocolInvariantError
 from repro.common.messages import MessageType as MT
+from repro.obs.events import InvCause
 
 
 class _PrivatePartition:
@@ -187,7 +188,7 @@ class SecDirSystem(CMPSystem):
         self.stats.dev_events += 1
         self.stats.invalidations_sent += 1
         self.mesh.send(MT.INV, self.mesh.core_to_bank(core, bank.bank_id))
-        line = self.cores[core].invalidate(block)
+        line = self.cores[core].invalidate(block, cause=InvCause.DEV)
         assert line is not None
         if line.state is MESI.M:
             self.mesh.send(MT.WRITEBACK,

@@ -23,10 +23,14 @@ from repro.caches.block import LLCLine, LineKind
 from repro.coherence.entry import DirectoryEntry, EntryLocation
 from repro.common.config import LLCReplacement
 from repro.common.errors import ProtocolInvariantError, SimulationError
+from repro.obs.events import EventKind
 
 
 class LLCBank:
     """Set-associative LLC bank with entry-aware replacement."""
+
+    #: Observability seam (repro.obs): None = tracing disabled.
+    obs = None
 
     def __init__(self, bank_id: int, sets: int, ways: int,
                  replacement: LLCReplacement, n_banks: int) -> None:
@@ -139,6 +143,12 @@ class LLCBank:
             self.remove(victim)
         self._frames[set_idx].append(line)
         index[line.block] = line
+        if self.obs is not None:
+            if line.kind is LineKind.SPILLED:
+                self.obs.emit(EventKind.ENTRY_SPILL, block=line.block)
+            if victim is not None:
+                self.obs.emit(EventKind.LLC_EVICT, block=victim.block,
+                              cause=victim.kind.value)
         return victim
 
     def remove(self, line: LLCLine) -> None:
@@ -161,6 +171,8 @@ class LLCBank:
         line.kind = LineKind.FUSED
         line.entry = entry
         entry.location = EntryLocation.LLC_FUSED
+        if self.obs is not None:
+            self.obs.emit(EventKind.ENTRY_FUSE, block=block)
         return True
 
     def unfuse(self, block: int) -> DirectoryEntry:
@@ -175,6 +187,8 @@ class LLCBank:
         assert entry is not None
         line.kind = LineKind.DATA
         line.entry = None
+        if self.obs is not None:
+            self.obs.emit(EventKind.ENTRY_UNFUSE, block=block)
         return entry
 
     def free_spill(self, block: int) -> DirectoryEntry:

@@ -16,6 +16,7 @@ from repro.caches.block import L1Line, L2Line, MESI
 from repro.caches.set_assoc import SetAssocCache
 from repro.common.config import CacheGeometry
 from repro.common.errors import ProtocolInvariantError
+from repro.obs.events import EventKind
 
 
 @dataclass
@@ -36,6 +37,9 @@ class EvictionNotice:
 
 class PrivateHierarchy:
     """One core's L1I + L1D + L2 stack."""
+
+    #: Observability seam (repro.obs): None = tracing disabled.
+    obs = None
 
     def __init__(self, core: int, l1i: CacheGeometry, l1d: CacheGeometry,
                  l2: CacheGeometry) -> None:
@@ -116,6 +120,9 @@ class PrivateHierarchy:
                    is_code=code))
         if victim is not None:
             self._back_invalidate_l1(victim.block)
+            if self.obs is not None:
+                self.obs.emit(EventKind.L2_EVICT, block=victim.block,
+                              core=self.core, cause=victim.state.name)
             notices.append(EvictionNotice(self.core, victim.block,
                                           victim.state, victim.version,
                                           victim.is_code))
@@ -123,10 +130,19 @@ class PrivateHierarchy:
         l1.insert(L1Line(block))
         return notices
 
-    def invalidate(self, block: int) -> Optional[L2Line]:
-        """Remove ``block`` everywhere; returns the L2 line if present."""
+    def invalidate(self, block: int, cause: str = "") -> Optional[L2Line]:
+        """Remove ``block`` everywhere; returns the L2 line if present.
+
+        ``cause`` tags the resulting PRIV_INV trace event with what made
+        the copy die (``dev`` / ``getx`` / ``inclusion`` / ``socket`` --
+        see :class:`repro.obs.events.InvCause`).
+        """
         self._back_invalidate_l1(block)
-        return self._l2.remove(block)
+        line = self._l2.remove(block)
+        if line is not None and self.obs is not None:
+            self.obs.emit(EventKind.PRIV_INV, block=block,
+                          core=self.core, cause=cause)
+        return line
 
     def downgrade_to_s(self, block: int) -> L2Line:
         """Owner response to a forwarded GETS: M/E -> S, supply data."""

@@ -11,7 +11,14 @@ Commands
     The quickstart comparison: baseline 1x versus ZeroDEV with no
     directory on one workload.
 ``trace APP PATH``
-    Generate a workload for a named application and save it as ``.npz``.
+    Generate a workload for a named application and save it as ``.npz``
+    -- or, when ``PATH`` ends in ``.jsonl`` (or ``--events`` is given),
+    run the workload with structured event tracing enabled: the JSONL
+    event stream and its ``*.timeseries.json`` sibling are written to
+    ``PATH`` and a terminal report is printed (see ``repro report``).
+``report [TRACE.jsonl]``
+    With a path: render the observability report for that event trace.
+    Without: rebuild EXPERIMENTS.md from the archived benchmark tables.
 ``simulate PATH``
     Run a saved trace bundle under a chosen protocol and print stats.
 """
@@ -24,6 +31,7 @@ import sys
 
 from repro.common.config import (DirCachingPolicy, DirectoryConfig,
                                  LLCReplacement, Protocol, scaled_socket)
+from repro.common.errors import ConfigError
 from repro.harness import experiments
 from repro.harness.reporting import ascii_bars
 from repro.harness.runner import run_workload
@@ -70,7 +78,7 @@ def _command_run(args) -> int:
         os.environ["REPRO_ACCESSES"] = str(args.accesses)
     if args.full:
         os.environ["REPRO_FULL"] = "1"
-    if args.jobs:
+    if args.jobs is not None:
         os.environ["REPRO_JOBS"] = str(args.jobs)
     experiment = EXPERIMENTS[args.figure]
     table, _results = experiment()
@@ -141,14 +149,36 @@ def _command_verify(args) -> int:
     return 1
 
 
-def _command_report(_args) -> int:
-    """Rebuild EXPERIMENTS.md from the archived benchmark tables."""
+def _command_report(args) -> int:
+    """Render a trace report, or rebuild EXPERIMENTS.md when no path."""
+    if getattr(args, "path", None):
+        from pathlib import Path
+        from repro.obs.report import render_report
+        path = Path(args.path)
+        if not path.is_file():
+            print(f"error: no such trace: {path}", file=sys.stderr)
+            return 2
+        print(render_report(path))
+        return 0
     import runpy
     from pathlib import Path
     script = (Path(__file__).resolve().parent.parent.parent / "scripts"
               / "build_experiments_md.py")
     module = runpy.run_path(str(script))
     return module["main"]()
+
+
+def _configured(config, protocol: Protocol, ratio: float, policy: str):
+    """Apply the protocol/ratio/policy triple shared by simulate/trace."""
+    if protocol is Protocol.ZERODEV:
+        return config.with_(
+            protocol=protocol,
+            directory=DirectoryConfig(ratio=ratio if ratio > 0 else None),
+            llc_replacement=LLCReplacement.DATA_LRU,
+            dir_caching=DirCachingPolicy(policy))
+    return config.with_(
+        protocol=protocol,
+        directory=DirectoryConfig(ratio=ratio or 1.0))
 
 
 def _command_trace(args) -> int:
@@ -158,6 +188,21 @@ def _command_trace(args) -> int:
     profile = find_profile(args.app)
     maker = make_rate_workload if args.rate else make_multithreaded
     workload = maker(profile, config, args.accesses, seed=args.seed)
+    if args.events or str(args.path).endswith(".jsonl"):
+        from repro.obs.report import render_report
+        from repro.obs.trace import TraceSession
+        config = _configured(config, Protocol(args.protocol),
+                             args.ratio, args.policy)
+        system = build_system(config)
+        with TraceSession(system, jsonl=args.path,
+                          epoch=args.epoch) as session:
+            result = session.run(workload)
+        print(f"traced {workload!r} under {config.protocol.value}: "
+              f"{session.jsonl.events_written:,} events -> "
+              f"{result.trace_path}")
+        print()
+        print(render_report(args.path))
+        return 0
     workload.save(args.path)
     print(f"wrote {workload!r} to {args.path}")
     return 0
@@ -165,23 +210,12 @@ def _command_trace(args) -> int:
 
 def _command_simulate(args) -> int:
     workload = Workload.load(args.path)
-    config = scaled_socket(n_cores=max(8, workload.n_cores))
-    protocol = Protocol(args.protocol)
-    if protocol is Protocol.ZERODEV:
-        config = config.with_(
-            protocol=protocol,
-            directory=DirectoryConfig(
-                ratio=args.ratio if args.ratio > 0 else None),
-            llc_replacement=LLCReplacement.DATA_LRU,
-            dir_caching=DirCachingPolicy(args.policy))
-    else:
-        config = config.with_(
-            protocol=protocol,
-            directory=DirectoryConfig(ratio=args.ratio or 1.0))
+    config = _configured(scaled_socket(n_cores=max(8, workload.n_cores)),
+                         Protocol(args.protocol), args.ratio, args.policy)
     system = build_system(config)
     run_workload(system, workload)
     stats = system.stats
-    print(f"{workload!r} under {protocol.value}:")
+    print(f"{workload!r} under {config.protocol.value}:")
     for field in ("total_cycles", "core_cache_misses",
                   "dev_invalidations", "traffic_bytes", "dram_reads",
                   "dram_writes", "entries_fused", "entries_spilled",
@@ -191,6 +225,15 @@ def _command_simulate(args) -> int:
             value = getattr(stats, field)
         print(f"  {field:<20} {stats.as_dict().get(field, value):,}")
     return 0
+
+
+def _jobs_argument(value: str) -> int:
+    """argparse type for ``--jobs``: positive integer or a clean error."""
+    from repro.harness.parallel import parse_jobs
+    try:
+        return parse_jobs(value, source="--jobs")
+    except ConfigError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -207,7 +250,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="accesses per core (default: REPRO_ACCESSES)")
     run.add_argument("--full", action="store_true",
                      help="run every application, not the subset")
-    run.add_argument("--jobs", type=int, default=0,
+    run.add_argument("--jobs", type=_jobs_argument, default=None,
                      help="worker processes for independent runs "
                           "(default: REPRO_JOBS)")
 
@@ -221,10 +264,16 @@ def build_parser() -> argparse.ArgumentParser:
                         choices=[p.value for p in Protocol])
     verify.add_argument("--depth", type=int, default=3)
 
-    commands.add_parser(
-        "report", help="rebuild EXPERIMENTS.md from archived results")
+    report = commands.add_parser(
+        "report", help="render a trace report, or rebuild "
+                       "EXPERIMENTS.md from archived results")
+    report.add_argument("path", nargs="?", default=None,
+                        help="a *.jsonl event trace (omit to rebuild "
+                             "EXPERIMENTS.md)")
 
-    trace = commands.add_parser("trace", help="generate a trace bundle")
+    trace = commands.add_parser(
+        "trace", help="generate a trace bundle, or (with a .jsonl PATH "
+                      "or --events) run it with event tracing")
     trace.add_argument("app")
     trace.add_argument("path")
     trace.add_argument("--accesses", type=int, default=10_000)
@@ -232,6 +281,20 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--rate", action="store_true",
                        help="rate (multi-programmed) instead of "
                             "multi-threaded")
+    trace.add_argument("--events", action="store_true",
+                       help="run with event tracing; PATH receives the "
+                            "JSONL event stream")
+    trace.add_argument("--protocol", default="zerodev",
+                       choices=[p.value for p in Protocol],
+                       help="protocol for --events runs")
+    trace.add_argument("--ratio", type=float, default=0.0,
+                       help="directory ratio R for --events runs "
+                            "(0 = no directory for ZeroDEV)")
+    trace.add_argument("--policy", default="fuse-private-spill-shared",
+                       choices=[p.value for p in DirCachingPolicy],
+                       help="entry-caching policy for --events runs")
+    trace.add_argument("--epoch", type=int, default=1000,
+                       help="accesses per time-series epoch")
 
     simulate = commands.add_parser("simulate",
                                    help="run a saved trace bundle")
@@ -257,7 +320,13 @@ def main(argv=None) -> int:
         "trace": _command_trace,
         "simulate": _command_simulate,
     }[args.command]
-    return handler(args)
+    try:
+        return handler(args)
+    except ConfigError as exc:
+        # e.g. a malformed REPRO_JOBS read mid-experiment: one clear
+        # line, no traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -19,10 +19,14 @@ from typing import Dict, List, Optional
 from repro.coherence.entry import DirectoryEntry, EntryLocation
 from repro.common.addressing import set_index
 from repro.common.errors import ProtocolInvariantError, SimulationError
+from repro.obs.events import EventKind
 
 
 class SparseDirectory:
     """Set-associative sparse directory with 1-bit NRU replacement."""
+
+    #: Observability seam (repro.obs): None = tracing disabled.
+    obs = None
 
     def __init__(self, entries: int, ways: int, unbounded: bool = False,
                  replacement_disabled: bool = False) -> None:
@@ -85,6 +89,8 @@ class SparseDirectory:
         if not self.unbounded:
             self._sets[self.set_of(entry.block)].append(entry)
         self._index[entry.block] = entry
+        if self.obs is not None:
+            self.obs.emit(EventKind.DIR_INSERT, block=entry.block)
 
     def choose_victim(self, block: int) -> DirectoryEntry:
         """NRU victim of ``block``'s set (baseline DEV generation).
@@ -114,6 +120,8 @@ class SparseDirectory:
                 f"no directory entry for block {block:#x} to remove")
         if not self.unbounded:
             self._sets[self.set_of(block)].remove(entry)
+        if self.obs is not None:
+            self.obs.emit(EventKind.DIR_REMOVE, block=block)
         return entry
 
     # ------------------------------------------------------------------

@@ -34,6 +34,7 @@ from repro.common.messages import MessageType as MT
 from repro.common.stats import SystemStats
 from repro.dram.model import DramModel
 from repro.interconnect.mesh import Mesh
+from repro.obs.events import EventKind, InvCause
 from repro.workloads.trace import Op
 
 
@@ -46,6 +47,9 @@ class CMPSystem:
     def __init__(self, config: SystemConfig) -> None:
         self.config = config
         self.stats = SystemStats(config.n_cores)
+        #: Observability seam (repro.obs): None = tracing disabled, set
+        #: to an EventBus by repro.obs.trace.attach for traced runs.
+        self.obs = None
         self.shadow = ShadowMemory()
         self.mesh = Mesh(config.mesh, config.n_cores, config.llc_banks,
                          config.latency, self.stats)
@@ -266,7 +270,8 @@ class CMPSystem:
             latency += self.mesh.send_core_to_core(MT.DATA, owner, core)
             self.mesh.send(MT.BUSY_CLEAR,
                            self.mesh.core_to_bank(owner, bank.bank_id))
-            line = self.cores[owner].invalidate(block)
+            line = self.cores[owner].invalidate(block,
+                                                cause=InvCause.FWD_GETX)
             assert line is not None
             version = line.version
             old_state = entry.state
@@ -337,7 +342,8 @@ class CMPSystem:
                 MT.INV_ACK, sharer, requester)
             inv_path = max(inv_path, to_sharer + self._lat.l2_hit
                            + to_requester)
-            line = self.cores[sharer].invalidate(block)
+            line = self.cores[sharer].invalidate(block,
+                                                 cause=InvCause.GETX)
             assert line is not None
             data_version = line.version
             entry.remove_sharer(sharer)
@@ -549,7 +555,8 @@ class CMPSystem:
                            self.mesh.core_to_bank(sharer, bank.bank_id))
             self.mesh.send(MT.INV_ACK,
                            self.mesh.core_to_bank(sharer, bank.bank_id))
-            line = self.cores[sharer].invalidate(victim.block)
+            line = self.cores[sharer].invalidate(victim.block,
+                                                 cause=InvCause.INCLUSION)
             assert line is not None
             if line.state is MESI.M:
                 victim.version = line.version
@@ -590,6 +597,9 @@ class CMPSystem:
     def _process_dev(self, victim: DirectoryEntry) -> None:
         """Invalidate every private copy the evicted entry was tracking."""
         self.stats.dir_evictions += 1
+        if self.obs is not None:
+            self.obs.emit(EventKind.DIR_EVICT, block=victim.block,
+                          cause=InvCause.DEV)
         bank = self.bank_of(victim.block)
         generated = False
         last_version = 0
@@ -599,7 +609,8 @@ class CMPSystem:
             self.stats.invalidations_sent += 1
             self.mesh.send(MT.INV,
                            self.mesh.core_to_bank(sharer, bank.bank_id))
-            line = self.cores[sharer].invalidate(victim.block)
+            line = self.cores[sharer].invalidate(victim.block,
+                                                 cause=InvCause.DEV)
             assert line is not None
             last_version = line.version
             if line.state is MESI.M:

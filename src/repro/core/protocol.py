@@ -38,6 +38,7 @@ from repro.common.config import (DirCachingPolicy, LLCDesign, Protocol,
 from repro.common.errors import ProtocolInvariantError
 from repro.common.messages import MessageType as MT
 from repro.core.housing import MemoryHousing
+from repro.obs.events import EventKind, InvCause
 
 
 class ZeroDEVSystem(CMPSystem):
@@ -96,6 +97,8 @@ class ZeroDEVSystem(CMPSystem):
         self.stats.corrupted_block_reads += 1
         extra = self._entry_memory_read(block) + 1
         entry = self._housing.promote(block)
+        if self.obs is not None:
+            self.obs.emit(EventKind.ENTRY_EXTRACT, block=block)
         self._place_entry(entry)
         return entry, extra
 
@@ -112,6 +115,8 @@ class ZeroDEVSystem(CMPSystem):
         self.stats.get_de_messages += 1
         self.stats.record_message(MT.GET_DE)
         self.stats.record_message(MT.DE_DATA)
+        if self.obs is not None:
+            self.obs.emit(EventKind.GET_DE, block=block)
         self._entry_memory_read(block)
         return entry
 
@@ -306,6 +311,8 @@ class ZeroDEVSystem(CMPSystem):
                         evictor_core: Optional[int],
                         bank: LLCBank) -> None:
         self.stats.corrupted_blocks_restored += 1
+        if self.obs is not None:
+            self.obs.emit(EventKind.MEM_RESTORE, block=block)
         if evictor_core is not None:
             self.stats.record_message(MT.SOCKET_RESTORE)
         self.dram.write(block)
@@ -348,7 +355,8 @@ class ZeroDEVSystem(CMPSystem):
             self.stats.inclusion_invalidations += 1
             self.stats.record_message(MT.INV)
             self.stats.record_message(MT.INV_ACK)
-            line = self.cores[sharer].invalidate(victim.block)
+            line = self.cores[sharer].invalidate(victim.block,
+                                                 cause=InvCause.INCLUSION)
             assert line is not None
             if line.state is MESI.M:
                 version, dirty = line.version, True
@@ -375,7 +383,8 @@ class ZeroDEVSystem(CMPSystem):
             self.stats.inclusion_invalidations += 1
             self.stats.record_message(MT.INV)
             self.stats.record_message(MT.INV_ACK)
-            line = self.cores[sharer].invalidate(victim.block)
+            line = self.cores[sharer].invalidate(victim.block,
+                                                 cause=InvCause.INCLUSION)
             assert line is not None
             if line.state is MESI.M:
                 version, dirty = line.version, True
@@ -398,6 +407,8 @@ class ZeroDEVSystem(CMPSystem):
         self.stats.entry_llc_evictions += 1
         self.stats.wb_de_messages += 1
         self.stats.record_message(MT.WB_DE)
+        if self.obs is not None:
+            self.obs.emit(EventKind.ENTRY_WB_DE, block=entry.block)
         entry.location = EntryLocation.MEMORY
         self._housing.house(entry.block, entry)
         self._entry_memory_write(entry)
@@ -408,6 +419,8 @@ class ZeroDEVSystem(CMPSystem):
                 f"real data written over the housed entry of {block:#x}")
         if self._housing.is_garbage(block):
             self._housing.heal(block)
+            if self.obs is not None:
+                self.obs.emit(EventKind.MEM_HEAL, block=block)
 
     def _memory_fetch_latency(self, block: int) -> int:
         if self._housing.is_garbage(block):

@@ -65,7 +65,8 @@ def run_full() -> bool:
 
 def jobs() -> int:
     """Worker processes for independent runs (``REPRO_JOBS``)."""
-    return max(1, int(os.environ.get("REPRO_JOBS", "1")))
+    from repro.harness.parallel import default_jobs
+    return default_jobs()
 
 
 def default_config(**overrides) -> SystemConfig:

@@ -28,9 +28,11 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.common.config import SystemConfig
+from repro.common.errors import ConfigError
 from repro.harness.result_cache import ResultCache, run_key, session_cache
 from repro.harness.runner import RunResult, run_workload
 from repro.harness.system_builder import build_system
@@ -57,20 +59,54 @@ def telemetry_since(before: Dict[str, float]) -> Dict[str, float]:
     return {key: _telemetry[key] - before[key] for key in _telemetry}
 
 
+def parse_jobs(value, source: str = "--jobs") -> int:
+    """Validate a worker count from the CLI or the environment.
+
+    Accepts a positive integer (as int or decimal string); anything else
+    -- zero, negatives, floats, or non-numeric text -- raises
+    :class:`~repro.common.errors.ConfigError` naming ``source`` so the
+    CLI can fail with a one-line message instead of a traceback.
+    """
+    try:
+        jobs = int(str(value).strip())
+    except (TypeError, ValueError):
+        raise ConfigError(
+            f"{source} must be a positive integer, got {value!r}") from None
+    if jobs < 1:
+        raise ConfigError(
+            f"{source} must be a positive integer, got {value!r}")
+    return jobs
+
+
 def default_jobs() -> int:
     """Worker count from ``REPRO_JOBS`` (default 1: serial)."""
-    return max(1, int(os.environ.get("REPRO_JOBS", "1")))
+    raw = os.environ.get("REPRO_JOBS")
+    if raw is None or not raw.strip():
+        return 1
+    return parse_jobs(raw, source="REPRO_JOBS")
 
 
-def execute_run(spec: RunSpec) -> RunResult:
-    """Build the system for ``spec`` and run it (detached result)."""
+def execute_run(spec: RunSpec,
+                trace_path: Optional[str] = None) -> RunResult:
+    """Build the system for ``spec`` and run it (detached result).
+
+    With ``trace_path`` the run executes under a
+    :class:`~repro.obs.trace.TraceSession`: events stream to that JSONL
+    file and the aggregated time series lands next to it.
+    """
     config, workload = spec
-    return run_workload(build_system(config), workload).detached()
+    system = build_system(config)
+    if trace_path is None:
+        return run_workload(system, workload).detached()
+    from repro.obs.trace import TraceSession
+    with TraceSession(system, jsonl=trace_path) as session:
+        return session.run(workload).detached()
 
 
-def _pool_worker(job: Tuple[int, RunSpec]) -> Tuple[int, RunResult]:
-    index, spec = job
-    return index, execute_run(spec)
+def _pool_worker(job: Tuple[int, RunSpec, Optional[str]]
+                 ) -> Tuple[int, RunResult]:
+    index, spec, trace_path = job
+    return index, execute_run(spec, trace_path)
 
 
 def _pool_context():
@@ -81,29 +117,41 @@ def _pool_context():
         "fork" if "fork" in methods else None)
 
 
+def _trace_path_for(trace_dir, index: int, spec: RunSpec) -> str:
+    directory = Path(trace_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    return str(directory / f"run{index:04d}_{spec[1].name}.jsonl")
+
+
 def run_many(specs: Sequence[RunSpec], jobs: Optional[int] = None,
-             cache=USE_SESSION_CACHE) -> List[RunResult]:
+             cache=USE_SESSION_CACHE,
+             trace_dir=None) -> List[RunResult]:
     """Run every ``(config, workload)`` spec; results in request order.
 
     ``jobs=None`` reads ``REPRO_JOBS``; ``jobs=1`` is the serial
     fallback. ``cache=None`` disables memoization (every spec is
     executed); by default the session cache is consulted and filled.
+    ``trace_dir`` enables event tracing on every *executed* run: each
+    writes ``run<NNNN>_<workload>.jsonl`` (plus its time-series sibling)
+    into that directory, and the result's ``trace_path`` points at it.
+    Cache hits keep whatever trace path their original execution stored.
     """
     specs = list(specs)
-    if jobs is None:
-        jobs = default_jobs()
+    jobs = default_jobs() if jobs is None else parse_jobs(jobs, "jobs")
     if cache is USE_SESSION_CACHE:
         cache = session_cache()
     results: List[Optional[RunResult]] = [None] * len(specs)
 
     # Resolve cache hits and collapse duplicate specs to one execution.
-    pending: List[Tuple[int, RunSpec]] = []
+    pending: List[Tuple[int, RunSpec, Optional[str]]] = []
     keys: Dict[int, str] = {}
     first_index_for_key: Dict[str, int] = {}
     aliases: Dict[int, int] = {}
     for index, spec in enumerate(specs):
+        trace_path = (None if trace_dir is None
+                      else _trace_path_for(trace_dir, index, spec))
         if cache is None:
-            pending.append((index, spec))
+            pending.append((index, spec, trace_path))
             continue
         key = run_key(spec[0], spec[1])
         keys[index] = key
@@ -115,7 +163,7 @@ def run_many(specs: Sequence[RunSpec], jobs: Optional[int] = None,
         if first != index:
             aliases[index] = first
         else:
-            pending.append((index, spec))
+            pending.append((index, spec, trace_path))
 
     executed = 0
     if pending:
@@ -127,21 +175,22 @@ def run_many(specs: Sequence[RunSpec], jobs: Optional[int] = None,
                         _pool_worker, pending, chunksize=1):
                     results[index] = result
         else:
-            for index, spec in pending:
-                results[index] = execute_run(spec)
+            for index, spec, trace_path in pending:
+                results[index] = execute_run(spec, trace_path)
         executed = len(pending)
         if cache is not None:
-            for index, _spec in pending:
+            for index, _spec, _trace in pending:
                 cache.put(keys[index], results[index])
             for index, first in aliases.items():
                 results[index] = RunResult(
                     results[first].workload, results[first].stats, None,
-                    results[first].wall_seconds, cached=True)
+                    results[first].wall_seconds, cached=True,
+                    trace_path=results[first].trace_path)
 
     _telemetry["runs"] += executed
     _telemetry["cache_hits"] += len(specs) - executed
     _telemetry["wall_seconds"] += sum(
-        results[index].wall_seconds for index, _ in pending)
+        results[index].wall_seconds for index, *_ in pending)
     _telemetry["accesses"] += sum(
-        results[index].stats.total_accesses for index, _ in pending)
+        results[index].stats.total_accesses for index, *_ in pending)
     return results  # type: ignore[return-value]

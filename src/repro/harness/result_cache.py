@@ -94,6 +94,10 @@ class ResultCache:
                     # damaged pickle can raise nearly anything
                     # (UnpicklingError, ValueError, EOFError, ...).
                     result = None
+                if not isinstance(result, RunResult):
+                    # A damaged pickle can also decode "successfully"
+                    # into the wrong object; treat that as a miss too.
+                    result = None
                 else:
                     self._memo[key] = result
         if result is None:
@@ -101,7 +105,8 @@ class ResultCache:
             return None
         self.hits += 1
         return RunResult(result.workload, result.stats, None,
-                         result.wall_seconds, cached=True)
+                         result.wall_seconds, cached=True,
+                         trace_path=getattr(result, "trace_path", None))
 
     def put(self, key: str, result: RunResult) -> None:
         detached = result.detached()

@@ -39,6 +39,7 @@ class RunResult:
     system: Optional[CMPSystem] = None
     wall_seconds: float = 0.0
     cached: bool = False
+    trace_path: Optional[str] = None
 
     @property
     def cycles(self) -> int:
@@ -51,7 +52,7 @@ class RunResult:
     def detached(self) -> "RunResult":
         """A copy without the live system (picklable, cache-friendly)."""
         return RunResult(self.workload, self.stats, None,
-                         self.wall_seconds, self.cached)
+                         self.wall_seconds, self.cached, self.trace_path)
 
 
 def _decode_traces(traces):
@@ -116,14 +117,17 @@ def run_workload(system: CMPSystem, workload: Workload,
                  check_invariants_every: int = 0,
                  sample_every: int = 0,
                  sample_fn: Optional[Callable[[CMPSystem], None]] = None,
-                 warmup: int = 0) -> RunResult:
+                 warmup: int = 0,
+                 profiler=None) -> RunResult:
     """Run ``workload`` to completion on ``system``.
 
     ``check_invariants_every`` triggers a full invariant sweep every N
     accesses (tests); ``sample_every``/``sample_fn`` support periodic
     probes such as the directory-occupancy measurement of Figure 5;
     ``warmup`` executes that many accesses to warm the caches and then
-    resets all statistics (the region-of-interest boundary).
+    resets all statistics (the region-of-interest boundary);
+    ``profiler`` (a :class:`repro.obs.PhaseProfiler`) times the decode /
+    drive / final-check phases.
     """
     traces = workload.traces
     n = len(traces)
@@ -133,7 +137,12 @@ def run_workload(system: CMPSystem, workload: Workload,
     lengths = [len(trace) for trace in traces]
     if warmup >= sum(lengths):
         raise ValueError("warm-up longer than the workload")
-    ops, addresses = _decode_traces(traces)
+    started = perf_counter()
+    if profiler is not None:
+        with profiler.phase("decode"):
+            ops, addresses = _decode_traces(traces)
+    else:
+        ops, addresses = _decode_traces(traces)
     access = system.access
     stats = system.stats
     cycles = stats.cycles
@@ -142,22 +151,45 @@ def run_workload(system: CMPSystem, workload: Workload,
         access(core, ops[core][index], addresses[core][index])
         return cycles[core]
 
+    obs = getattr(system, "obs", None)
+    if obs is not None:
+        # Tracing enabled: advance the event-bus step clock once per
+        # issued access so every event carries its global access index.
+        # Built only on this branch; the disabled path keeps the plain
+        # closure above untouched.
+        plain_issue = issue
+
+        def issue(core: int, index: int,
+                  _issue=plain_issue, _obs=obs) -> int:
+            _obs.step += 1
+            return _issue(core, index)
+
     def on_warmup() -> None:
         nonlocal cycles
         stats.reset()
         cycles = stats.cycles
 
-    started = perf_counter()
-    _drive_interleaved(
-        lengths, issue,
-        check=system.check_invariants,
-        check_every=check_invariants_every,
-        sample=(None if sample_fn is None
-                else lambda: sample_fn(system)),
-        sample_every=sample_every,
-        warmup=warmup, on_warmup=on_warmup)
+    def drive() -> None:
+        _drive_interleaved(
+            lengths, issue,
+            check=system.check_invariants,
+            check_every=check_invariants_every,
+            sample=(None if sample_fn is None
+                    else lambda: sample_fn(system)),
+            sample_every=sample_every,
+            warmup=warmup, on_warmup=on_warmup)
+
+    if profiler is not None:
+        with profiler.phase("drive"):
+            drive()
+    else:
+        drive()
     if check_invariants_every:
-        system.check_invariants()
+        if profiler is not None:
+            with profiler.phase("final_check"):
+                system.check_invariants()
+        else:
+            system.check_invariants()
     return RunResult(workload.name, system.stats, system,
                      wall_seconds=perf_counter() - started)
 

@@ -19,10 +19,14 @@ from repro.common.config import LatencyConfig, MeshConfig
 from repro.common.errors import ConfigError
 from repro.common.messages import MessageType
 from repro.common.stats import SystemStats
+from repro.obs.events import EventKind
 
 
 class Mesh:
     """Hop-count and traffic accounting for one socket's mesh."""
+
+    #: Observability seam (repro.obs): None = tracing disabled.
+    obs = None
 
     def __init__(self, config: MeshConfig, n_cores: int, n_banks: int,
                  latency: LatencyConfig, stats: SystemStats) -> None:
@@ -57,6 +61,8 @@ class Mesh:
     def send(self, kind: MessageType, hops: int) -> int:
         """Send one message; returns its latency and accounts traffic."""
         self._stats.record_message(kind)
+        if self.obs is not None:
+            self.obs.emit(EventKind.MSG, cause=kind.name)
         return hops * self._latency.mesh_hop
 
     def send_core_to_bank(self, kind: MessageType, core: int,

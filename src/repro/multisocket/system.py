@@ -40,6 +40,7 @@ from repro.common.messages import MessageType as MT
 from repro.common.stats import SystemStats
 from repro.core.housing import DirEvictBitmap
 from repro.harness.system_builder import build_system
+from repro.obs.events import EventKind, InvCause
 from repro.workloads.trace import Op
 
 
@@ -80,6 +81,9 @@ class SocketEntry:
 
 class MultiSocketSystem:
     """Several sockets behind one socket-level coherence layer."""
+
+    #: Observability seam (repro.obs): None = tracing disabled.
+    obs = None
 
     def __init__(self, config: SystemConfig, n_sockets: int = 4,
                  dir_cache_blocks: int = 4096,
@@ -269,6 +273,9 @@ class MultiSocketSystem:
         if found is None:
             # Step 7: F cannot find the entry -- it is housed at home.
             self.denf_nacks += 1
+            if self.obs is not None:
+                self.obs.emit(EventKind.DENF_NACK, block=block,
+                              cause=f"socket{forward_id}")
             self._record(socket, MT.DENF_NACK, forward_id, home_id)
             latency += self._link_latency(forward_id, home_id)
             home = self.sockets[home_id]
@@ -370,6 +377,9 @@ class MultiSocketSystem:
             # System-wide last copy of a corrupted block: retrieve it
             # from the evicting socket and heal home memory.
             self.restores += 1
+            if self.obs is not None:
+                self.obs.emit(EventKind.MEM_RESTORE, block=block,
+                              cause=InvCause.SOCKET)
             self._record(socket, MT.SOCKET_RESTORE, node,
                          self.home_of(block))
             home = self.sockets[self.home_of(block)]
@@ -403,6 +413,9 @@ class MultiSocketSystem:
             # Another socket's segment is live: read-modify-write.
             latency += home.dram.read(block)
         latency += home.dram.write(block, from_entry_eviction=True)
+        if self.obs is not None:
+            self.obs.emit(EventKind.ENTRY_WB_DE, block=block,
+                          cause=InvCause.SOCKET)
         self._garbage.add(block)
         return latency
 
@@ -422,7 +435,8 @@ class MultiSocketSystem:
         if entry is not None:
             for core in list(entry.sharer_cores()):
                 self.socket_invalidations += 1
-                line = target.cores[core].invalidate(block)
+                line = target.cores[core].invalidate(
+                    block, cause=InvCause.SOCKET)
                 assert line is not None
                 version = (line.version if version is None
                            else max(version, line.version))

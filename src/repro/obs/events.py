@@ -1,0 +1,93 @@
+"""Typed event taxonomy for the observability layer.
+
+Every event is one flat record: a monotonically increasing ``step`` (the
+global access index maintained by the runner), an :class:`EventKind`, and
+three optional coordinates -- ``block``, ``core``, and a free-form
+``cause`` tag.  The taxonomy mirrors the transitions the paper reasons
+about: protocol messages, directory-entry lifecycle (allocate / evict /
+spill / fuse / extract), LLC entry eviction into memory (the
+corrupted-memory transition), the ``GET_DE`` / ``DENF_NACK`` flows, and
+private-cache invalidations tagged by what caused them.
+
+The load-bearing tag is ``PRIV_INV`` with ``cause="dev"``: a ZeroDEV run
+must never contain one (the paper's headline property), while a sparse
+baseline produces them in volume -- asserted by ``tests/test_obs.py``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class EventKind(enum.Enum):
+    """Every event type the instrumented simulator can emit."""
+
+    # Interconnect.
+    MSG = "msg"                    # one protocol message (cause = type)
+
+    # Private-cache hierarchy.
+    PRIV_INV = "priv_inv"          # private copy invalidated (cause-tagged)
+    L2_EVICT = "l2_evict"          # capacity eviction -> notice to home
+
+    # Sparse-directory lifecycle.
+    DIR_INSERT = "dir_insert"      # entry installed in the sparse array
+    DIR_REMOVE = "dir_remove"      # entry left the sparse array
+    DIR_EVICT = "dir_evict"        # forced NRU eviction (the DEV source)
+
+    # ZeroDEV entry caching in the LLC.
+    ENTRY_SPILL = "entry_spill"    # entry allocated a spilled LLC frame
+    ENTRY_FUSE = "entry_fuse"      # entry fused into its block's frame
+    ENTRY_UNFUSE = "entry_unfuse"  # fused frame reconstructed to a block
+
+    # ZeroDEV memory housing (Section III-D).
+    ENTRY_WB_DE = "entry_wb_de"    # live entry evicted to memory (corrupts)
+    ENTRY_EXTRACT = "entry_extract"  # housed entry promoted back on chip
+    GET_DE = "get_de"              # read-update-writeback of a housed entry
+    DENF_NACK = "denf_nack"        # "directory entry not found" NACK
+    MEM_RESTORE = "mem_restore"    # corrupted block restored from a cache
+    MEM_HEAL = "mem_heal"          # real-data writeback healed the image
+
+    # LLC.
+    LLC_EVICT = "llc_evict"        # replacement victim (cause = frame kind)
+
+
+#: ``cause`` tags carried by PRIV_INV events.  ``DEV`` marks the paper's
+#: directory-eviction victims; the rest are the legitimate coherence and
+#: capacity causes every protocol shares.
+class InvCause:
+    DEV = "dev"                    # directory-entry eviction victim
+    GETX = "getx"                  # write miss / upgrade killed a sharer
+    FWD_GETX = "fwd_getx"          # ownership transferred to another core
+    INCLUSION = "inclusion"        # inclusive-LLC back-invalidation
+    SOCKET = "socket"              # remote-socket exclusive acquisition
+
+
+@dataclass(frozen=True)
+class Event:
+    """One structured trace record (flat, JSON-friendly)."""
+
+    __slots__ = ("step", "kind", "block", "core", "cause")
+
+    step: int
+    kind: EventKind
+    block: int
+    core: int
+    cause: str
+
+    def to_record(self) -> dict:
+        """Plain-dict form used by the JSONL sink and the reports."""
+        record = {"step": self.step, "kind": self.kind.value}
+        if self.block >= 0:
+            record["block"] = self.block
+        if self.core >= 0:
+            record["core"] = self.core
+        if self.cause:
+            record["cause"] = self.cause
+        return record
+
+    def key(self) -> str:
+        """Aggregation key: ``kind`` or ``kind:cause``."""
+        if self.cause:
+            return f"{self.kind.value}:{self.cause}"
+        return self.kind.value

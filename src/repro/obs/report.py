@@ -1,0 +1,154 @@
+"""Run reports rendered from archived JSONL traces.
+
+``repro report <trace.jsonl>`` renders the terminal summary produced
+here: headline verdict (did any DEV-caused private-cache invalidation
+occur?), event totals by kind, the invalidation-cause breakdown, the
+message mix, and -- when the sibling ``*.timeseries.json`` archive exists
+-- per-epoch occupancy/MPKI series as ASCII charts.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+from repro.obs.events import EventKind, InvCause
+from repro.obs.trace import timeseries_path_for
+
+
+def load_trace(path) -> Tuple[dict, List[dict]]:
+    """Parse a JSONL trace into (meta, event records).
+
+    Damaged trailing lines (an interrupted run) are tolerated: parsing
+    stops at the first undecodable line rather than raising.
+    """
+    meta: dict = {}
+    events: List[dict] = []
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                break
+            if record.get("kind") == "meta":
+                meta.update(record)
+            else:
+                events.append(record)
+    return meta, events
+
+
+def summarize(path) -> dict:
+    """Structured summary of one JSONL trace."""
+    meta, events = load_trace(path)
+    kinds: Counter = Counter()
+    inv_causes: Counter = Counter()
+    messages: Counter = Counter()
+    last_step = 0
+    for record in events:
+        kind = record.get("kind", "?")
+        kinds[kind] += 1
+        last_step = max(last_step, record.get("step", 0))
+        if kind == EventKind.PRIV_INV.value:
+            inv_causes[record.get("cause", "?")] += 1
+        elif kind == EventKind.MSG.value:
+            messages[record.get("cause", "?")] += 1
+    return {
+        "meta": meta,
+        "total_events": len(events),
+        "last_step": last_step,
+        "kinds": dict(kinds),
+        "inv_causes": dict(inv_causes),
+        "messages": dict(messages),
+        "dev_invalidations": inv_causes.get(InvCause.DEV, 0),
+    }
+
+
+def _bars(counter_items, width: int = 40) -> List[str]:
+    items = sorted(counter_items, key=lambda item: -item[1])
+    if not items:
+        return ["  (none)"]
+    top = items[0][1] or 1
+    label_width = max(len(str(label)) for label, _ in items)
+    lines = []
+    for label, count in items:
+        bar = "#" * max(1, int(round(count / top * width)))
+        lines.append(f"  {str(label):<{label_width}} {count:>10,} {bar}")
+    return lines
+
+
+def _sparkline(values: List[float], width: int = 60) -> str:
+    marks = " .:-=+*#%@"
+    if not values:
+        return "(no samples)"
+    if len(values) > width:
+        # Downsample by max within each chunk so spikes stay visible.
+        chunk = len(values) / width
+        values = [max(values[int(i * chunk):
+                             max(int(i * chunk) + 1,
+                                 int((i + 1) * chunk))])
+                  for i in range(width)]
+    top = max(values) or 1
+    return "".join(marks[min(len(marks) - 1,
+                             int(value / top * (len(marks) - 1)))]
+                   for value in values)
+
+
+def render_report(path, timeseries: Optional[Path] = None) -> str:
+    """Terminal report for a JSONL trace (plus its time series if any)."""
+    summary = summarize(path)
+    meta = summary["meta"]
+    lines = [f"trace report: {path}"]
+    if meta:
+        described = ", ".join(f"{key}={meta[key]}" for key in
+                              ("workload", "protocol", "n_cores",
+                               "epoch_accesses") if key in meta)
+        lines.append(f"  {described}")
+    lines.append(f"  {summary['total_events']:,} events over "
+                 f"{summary['last_step']:,} accesses")
+    devs = summary["dev_invalidations"]
+    verdict = ("ZERO directory-eviction victims" if devs == 0 else
+               f"{devs:,} DEV-caused private-cache invalidations")
+    lines.append(f"  verdict: {verdict}")
+    lines.append("")
+    lines.append("event totals:")
+    lines.extend(_bars(summary["kinds"].items()))
+    if summary["inv_causes"]:
+        lines.append("")
+        lines.append("private-cache invalidations by cause:")
+        lines.extend(_bars(summary["inv_causes"].items()))
+    if summary["messages"]:
+        lines.append("")
+        lines.append("message mix (top 8):")
+        lines.extend(_bars(Counter(summary["messages"])
+                           .most_common(8)))
+    series_path = (Path(timeseries) if timeseries is not None
+                   else timeseries_path_for(path))
+    if series_path.is_file():
+        try:
+            series = json.loads(series_path.read_text())
+        except json.JSONDecodeError:
+            series = None
+        if series:
+            lines.append("")
+            lines.append(f"time series ({series_path.name}, epoch = "
+                         f"{series.get('epoch_accesses', '?')} accesses):")
+            gauges = series.get("gauges", [])
+            for gauge in ("spilled_entries", "fused_entries",
+                          "corrupted_blocks", "dir_occupancy", "mpki"):
+                values = [float(sample.get(gauge, 0))
+                          for sample in gauges]
+                if any(values):
+                    peak = max(values)
+                    lines.append(f"  {gauge:<17} peak {peak:>10.1f} "
+                                 f"|{_sparkline(values)}|")
+            phases = series.get("runner_phases", {})
+            if phases:
+                lines.append("  runner phases: " + ", ".join(
+                    f"{name} {value:.3f}s"
+                    for name, value in phases.items()))
+    return "\n".join(lines)

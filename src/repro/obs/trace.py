@@ -1,0 +1,140 @@
+"""Trace sessions: wire an event bus through a system, run, archive.
+
+:func:`attach` threads one :class:`~repro.obs.bus.EventBus` through every
+instrumented component of a socket (protocol core, mesh, sparse
+directory, LLC banks, private hierarchies); :func:`detach` restores the
+zero-cost disabled state.  :class:`TraceSession` is the high-level
+convenience used by the CLI and by ``run_many(trace_dir=...)``: it owns
+the bus and the standard sink set (JSONL file, ring buffer, time-series
+aggregator), runs a workload with epoch-boundary gauge sampling, and
+archives the aggregated time series next to the JSONL trace.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional
+
+from repro.obs.bus import EventBus
+from repro.obs.profiler import PhaseProfiler
+from repro.obs.sinks import (JsonlSink, RingBufferSink,
+                             TimeSeriesAggregator, write_timeseries)
+
+
+def attach(system, bus: EventBus) -> EventBus:
+    """Enable event emission on every layer of a single-socket system."""
+    system.obs = bus
+    system.mesh.obs = bus
+    if system.directory is not None:
+        system.directory.obs = bus
+    for bank in system.banks:
+        bank.obs = bus
+    for hierarchy in system.cores:
+        hierarchy.obs = bus
+    return bus
+
+
+def detach(system) -> None:
+    """Restore the zero-cost disabled state."""
+    system.obs = None
+    system.mesh.obs = None
+    if system.directory is not None:
+        system.directory.obs = None
+    for bank in system.banks:
+        bank.obs = None
+    for hierarchy in system.cores:
+        hierarchy.obs = None
+
+
+def attach_multisocket(system, bus: EventBus) -> EventBus:
+    """Enable event emission on a multi-socket system and its sockets."""
+    system.obs = bus
+    for socket in system.sockets:
+        attach(socket, bus)
+    return bus
+
+
+def detach_multisocket(system) -> None:
+    system.obs = None
+    for socket in system.sockets:
+        detach(socket)
+
+
+def timeseries_path_for(jsonl_path) -> Path:
+    """Archive path of the time series belonging to a JSONL trace."""
+    jsonl_path = Path(jsonl_path)
+    return jsonl_path.with_name(jsonl_path.stem + ".timeseries.json")
+
+
+class TraceSession:
+    """Owns the bus and sinks for one traced single-socket run.
+
+    Usage::
+
+        session = TraceSession(system, jsonl=path, epoch=1000)
+        result = session.run(workload)
+        session.close()      # detaches, flushes, archives the series
+
+    ``close`` is idempotent and also runs on ``__exit__``.
+    """
+
+    def __init__(self, system, jsonl=None, ring_capacity: int = 0,
+                 epoch: int = 1000, timeseries=None) -> None:
+        self.system = system
+        self.bus = EventBus()
+        self.aggregator = TimeSeriesAggregator(epoch)
+        self.bus.subscribe(self.aggregator)
+        self.profiler = PhaseProfiler()
+        self.jsonl: Optional[JsonlSink] = None
+        self.ring: Optional[RingBufferSink] = None
+        if jsonl is not None:
+            self.jsonl = JsonlSink(jsonl)
+            self.bus.subscribe(self.jsonl)
+        if ring_capacity:
+            self.ring = RingBufferSink(ring_capacity)
+            self.bus.subscribe(self.ring)
+        self.timeseries_path = (
+            Path(timeseries) if timeseries is not None
+            else (timeseries_path_for(jsonl) if jsonl is not None
+                  else None))
+        self._closed = False
+        attach(system, self.bus)
+
+    # ------------------------------------------------------------------
+    def run(self, workload, **run_kwargs):
+        """Run ``workload`` on the attached system with gauge sampling."""
+        from repro.harness.runner import run_workload
+        if self.jsonl is not None:
+            self.jsonl.write_meta(
+                workload=workload.name,
+                protocol=self.system.config.protocol.value,
+                n_cores=self.system.config.n_cores,
+                epoch_accesses=self.aggregator.epoch)
+        run_kwargs.setdefault("sample_every", self.aggregator.epoch)
+        run_kwargs.setdefault("sample_fn", self.aggregator.sample)
+        run_kwargs.setdefault("profiler", self.profiler)
+        result = run_workload(self.system, workload, **run_kwargs)
+        if self.jsonl is not None:
+            result.trace_path = str(self.jsonl.path)
+        return result
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Detach, flush sinks, and archive the time series."""
+        if self._closed:
+            return
+        self._closed = True
+        detach(self.system)
+        if self.timeseries_path is not None:
+            meta = {"runner_phases": self.profiler.to_dict()}
+            if self.jsonl is not None:
+                meta["trace"] = str(self.jsonl.path)
+            write_timeseries(self.timeseries_path, self.aggregator,
+                             **meta)
+        self.bus.close()
+
+    def __enter__(self) -> "TraceSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,421 @@
+"""Tests for ``repro.obs``: event tracing, sinks, sessions, reports.
+
+The acceptance property mirrors the paper's headline claim: a traced
+ZeroDEV run must contain *zero* ``priv_inv`` events with ``cause="dev"``,
+while a 1/32x sparse-directory baseline over the same workload produces
+them in volume.  Alongside that: the disabled path must not perturb
+results, traced runs must match untraced runs stat-for-stat, and the
+sinks/report pipeline must round-trip through JSONL.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.common.config import DirectoryConfig
+from repro.common.errors import ConfigError
+from repro.common.ioutil import atomic_write_text
+from repro.harness.parallel import (default_jobs, execute_run, parse_jobs,
+                                    run_many)
+from repro.harness.runner import run_workload
+from repro.harness.system_builder import build_system
+from repro.obs import (Event, EventBus, EventKind, InvCause, JsonlSink,
+                       PhaseProfiler, RingBufferSink, TimeSeriesAggregator,
+                       TraceSession, attach, detach, load_trace,
+                       render_report, summarize, timeseries_path_for)
+from repro.workloads import make_multithreaded
+from repro.workloads.suites import find_profile
+
+from tests.conftest import tiny_config, zerodev_config
+
+
+def small_workload(name="canneal", accesses=400, seed=11):
+    return make_multithreaded(find_profile(name), tiny_config(),
+                              accesses, seed=seed)
+
+
+def sparse_baseline_config():
+    """1/32x sparse directory: forces DEVs within a few hundred accesses."""
+    return tiny_config(directory=DirectoryConfig(ratio=1 / 32))
+
+
+# ---------------------------------------------------------------------------
+# Event primitives
+# ---------------------------------------------------------------------------
+class TestEvents:
+    def test_record_omits_unset_coordinates(self):
+        event = Event(5, EventKind.DENF_NACK, -1, -1, "")
+        assert event.to_record() == {"step": 5, "kind": "denf_nack"}
+
+    def test_record_carries_coordinates(self):
+        event = Event(7, EventKind.PRIV_INV, 3, 1, InvCause.DEV)
+        assert event.to_record() == {"step": 7, "kind": "priv_inv",
+                                     "block": 3, "core": 1, "cause": "dev"}
+
+    def test_key_folds_cause(self):
+        assert Event(0, EventKind.PRIV_INV, -1, -1,
+                     InvCause.GETX).key() == "priv_inv:getx"
+        assert Event(0, EventKind.DIR_INSERT, -1, -1, "").key() \
+            == "dir_insert"
+
+
+class TestEventBus:
+    def test_fan_out_and_unsubscribe(self):
+        bus = EventBus()
+        first, second = RingBufferSink(8), RingBufferSink(8)
+        bus.subscribe(first)
+        bus.subscribe(second)
+        bus.emit(EventKind.MSG, cause="GETS")
+        bus.unsubscribe(second)
+        bus.emit(EventKind.MSG, cause="DATA")
+        assert first.total_seen == 2 and second.total_seen == 1
+
+    def test_subscribe_is_idempotent(self):
+        bus = EventBus()
+        sink = RingBufferSink(8)
+        bus.subscribe(sink)
+        bus.subscribe(sink)
+        bus.emit(EventKind.MSG)
+        assert sink.total_seen == 1
+
+
+class TestSinks:
+    def test_ring_buffer_is_bounded(self):
+        sink = RingBufferSink(4)
+        for step in range(10):
+            sink.handle(Event(step, EventKind.MSG, -1, -1, ""))
+        assert len(sink) == 4 and sink.total_seen == 10
+        assert [e.step for e in sink.events] == [6, 7, 8, 9]
+
+    def test_ring_buffer_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            RingBufferSink(0)
+
+    def test_aggregator_folds_by_epoch(self):
+        agg = TimeSeriesAggregator(epoch=10)
+        for step in (0, 9, 10, 25):
+            agg.handle(Event(step, EventKind.PRIV_INV, -1, -1,
+                             InvCause.DEV))
+        series = agg.series_of("priv_inv:dev")
+        assert series == [2, 1, 1]
+        assert agg.totals()["priv_inv:dev"] == 4
+
+    def test_aggregator_rejects_bad_epoch(self):
+        with pytest.raises(ValueError):
+            TimeSeriesAggregator(epoch=0)
+
+    def test_jsonl_round_trip(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        sink = JsonlSink(path)
+        sink.write_meta(workload="x", n_cores=4)
+        sink.handle(Event(1, EventKind.DIR_EVICT, 42, -1, InvCause.DEV))
+        sink.close()
+        meta, events = load_trace(path)
+        assert meta["workload"] == "x" and meta["n_cores"] == 4
+        assert events == [{"step": 1, "kind": "dir_evict", "block": 42,
+                           "cause": "dev"}]
+
+
+class TestProfiler:
+    def test_phases_accumulate(self):
+        profiler = PhaseProfiler()
+        with profiler.phase("a"):
+            pass
+        with profiler.phase("a"):
+            pass
+        with profiler.phase("b"):
+            pass
+        assert profiler.calls == {"a": 2, "b": 1}
+        assert set(profiler.to_dict()) == {"a", "b"}
+        assert "a" in profiler.render()
+
+
+# ---------------------------------------------------------------------------
+# Attach / detach and non-perturbation
+# ---------------------------------------------------------------------------
+class TestAttachDetach:
+    def test_attach_reaches_every_layer(self):
+        system = build_system(sparse_baseline_config())
+        bus = EventBus()
+        attach(system, bus)
+        assert system.obs is bus and system.mesh.obs is bus
+        assert system.directory.obs is bus
+        assert all(bank.obs is bus for bank in system.banks)
+        assert all(core.obs is bus for core in system.cores)
+        detach(system)
+        assert system.obs is None and system.mesh.obs is None
+        assert system.directory.obs is None
+        assert all(bank.obs is None for bank in system.banks)
+        assert all(core.obs is None for core in system.cores)
+
+    def test_disabled_by_default(self):
+        system = build_system(zerodev_config())
+        assert system.obs is None and system.mesh.obs is None
+
+    @pytest.mark.parametrize("config_fn", [
+        zerodev_config, sparse_baseline_config])
+    def test_tracing_does_not_perturb_stats(self, config_fn, tmp_path):
+        workload = small_workload()
+        plain = run_workload(build_system(config_fn()), workload)
+        with TraceSession(build_system(config_fn()),
+                          jsonl=tmp_path / "t.jsonl") as session:
+            traced = session.run(workload)
+        assert traced.stats.as_dict() == plain.stats.as_dict()
+
+
+# ---------------------------------------------------------------------------
+# The acceptance property (paper headline)
+# ---------------------------------------------------------------------------
+class TestZeroDevProperty:
+    WORKLOAD = dict(name="canneal", accesses=600, seed=2)
+
+    def _traced_summary(self, config, tmp_path, label):
+        workload = small_workload(**self.WORKLOAD)
+        path = tmp_path / f"{label}.jsonl"
+        with TraceSession(build_system(config), jsonl=path) as session:
+            session.run(workload)
+        return summarize(path)
+
+    def test_zerodev_trace_has_zero_dev_invalidations(self, tmp_path):
+        summary = self._traced_summary(zerodev_config(), tmp_path, "zdev")
+        assert summary["dev_invalidations"] == 0
+        assert summary["kinds"].get("dir_evict", 0) == 0
+        assert summary["total_events"] > 0       # tracing did fire
+
+    def test_sparse_baseline_trace_has_dev_invalidations(self, tmp_path):
+        summary = self._traced_summary(sparse_baseline_config(),
+                                       tmp_path, "base")
+        assert summary["dev_invalidations"] > 0
+        assert summary["kinds"].get("dir_evict", 0) > 0
+
+
+# ---------------------------------------------------------------------------
+# Trace sessions, archives, reports
+# ---------------------------------------------------------------------------
+class TestTraceSession:
+    def test_writes_jsonl_and_timeseries(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with TraceSession(build_system(zerodev_config()), jsonl=path,
+                          epoch=100) as session:
+            result = session.run(small_workload())
+        assert result.trace_path == str(path)
+        assert path.is_file()
+        series_path = timeseries_path_for(path)
+        assert series_path.is_file()
+        series = json.loads(series_path.read_text())
+        assert series["epoch_accesses"] == 100
+        assert series["gauges"], "epoch sampling produced no gauges"
+        for gauge in ("spilled_entries", "fused_entries",
+                      "corrupted_blocks", "mpki"):
+            assert gauge in series["gauges"][0]
+        assert "drive" in series["runner_phases"]
+
+    def test_events_carry_monotonic_steps(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with TraceSession(build_system(zerodev_config()),
+                          jsonl=path) as session:
+            session.run(small_workload(accesses=200))
+        _meta, events = load_trace(path)
+        steps = [event["step"] for event in events]
+        assert steps == sorted(steps)
+        assert steps[0] >= 1 and steps[-1] <= 200 * 4
+
+    def test_close_is_idempotent_and_detaches(self, tmp_path):
+        system = build_system(zerodev_config())
+        session = TraceSession(system, jsonl=tmp_path / "t.jsonl")
+        session.run(small_workload(accesses=200))
+        session.close()
+        session.close()
+        assert system.obs is None
+
+    def test_ring_only_session_needs_no_files(self):
+        system = build_system(zerodev_config())
+        with TraceSession(system, ring_capacity=256) as session:
+            session.run(small_workload(accesses=200))
+            assert session.ring.total_seen > 0
+        assert session.timeseries_path is None
+
+
+class TestReport:
+    def test_render_report_verdicts(self, tmp_path):
+        workload = small_workload(accesses=500)
+        zpath, bpath = tmp_path / "z.jsonl", tmp_path / "b.jsonl"
+        with TraceSession(build_system(zerodev_config()),
+                          jsonl=zpath) as session:
+            session.run(workload)
+        with TraceSession(build_system(sparse_baseline_config()),
+                          jsonl=bpath) as session:
+            session.run(workload)
+        zero = render_report(zpath)
+        assert "ZERO directory-eviction victims" in zero
+        assert "message mix" in zero and "time series" in zero
+        nonzero = render_report(bpath)
+        assert "DEV-caused private-cache invalidations" in nonzero
+
+    def test_load_trace_tolerates_truncated_tail(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"kind": "meta", "workload": "w"}\n'
+                        '{"step": 1, "kind": "msg", "cause": "GETS"}\n'
+                        '{"step": 2, "kind": "ms')   # torn mid-record
+        meta, events = load_trace(path)
+        assert meta["workload"] == "w"
+        assert len(events) == 1
+
+
+class TestMultisocketTracing:
+    def test_socket_invalidations_are_cause_tagged(self):
+        from repro.common.addressing import BLOCK_SHIFT
+        from repro.multisocket import MultiSocketSystem
+        from repro.obs import attach_multisocket, detach_multisocket
+        from repro.workloads.trace import Op
+        system = MultiSocketSystem(tiny_config(), n_sockets=2)
+        bus = EventBus()
+        ring = RingBufferSink(8192)
+        bus.subscribe(ring)
+        attach_multisocket(system, bus)
+        block = 8 << BLOCK_SHIFT
+        system.access(0, 0, Op.READ, block)
+        system.access(1, 0, Op.READ, block)      # socket-level S
+        system.access(0, 0, Op.WRITE, block)     # upgrade kills socket 1
+        assert ring.counts().get("priv_inv:socket", 0) >= 1
+        detach_multisocket(system)
+        assert system.obs is None
+        assert all(socket.obs is None for socket in system.sockets)
+        system.check_invariants()
+
+    def test_traced_zerodev_multisocket_run(self):
+        from repro.harness.runner import run_multisocket_workload
+        from repro.multisocket import MultiSocketSystem
+        from repro.obs import attach_multisocket
+        system = MultiSocketSystem(zerodev_config(), n_sockets=2)
+        bus = EventBus()
+        ring = RingBufferSink(1 << 16)
+        bus.subscribe(ring)
+        attach_multisocket(system, bus)
+        workload = make_multithreaded(
+            find_profile("canneal"), tiny_config(n_cores=8), 300, seed=5)
+        run_multisocket_workload(system, workload,
+                                 check_invariants_every=200)
+        counts = ring.counts()
+        assert sum(count for key, count in counts.items()
+                   if key.startswith("msg:")) > 0
+        assert counts.get("priv_inv:dev", 0) == 0   # still zero DEVs
+
+
+# ---------------------------------------------------------------------------
+# run_many / result-cache propagation
+# ---------------------------------------------------------------------------
+class TestRunManyTracing:
+    def test_trace_dir_traces_every_executed_run(self, tmp_path):
+        specs = [(zerodev_config(), small_workload("blackscholes")),
+                 (sparse_baseline_config(), small_workload("canneal"))]
+        untraced = run_many(specs, jobs=1, cache=None)
+        traced = run_many(specs, jobs=1, cache=None,
+                          trace_dir=tmp_path / "traces")
+        for result in traced:
+            assert result.trace_path is not None
+            trace = Path(result.trace_path)
+            assert trace.parent == tmp_path / "traces"
+            assert trace.is_file()
+            assert timeseries_path_for(trace).is_file()
+        assert ([r.stats.as_dict() for r in traced]
+                == [r.stats.as_dict() for r in untraced])
+
+    def test_cache_hit_preserves_trace_path(self, tmp_path):
+        from repro.harness.result_cache import ResultCache
+        spec = (zerodev_config(), small_workload())
+        cache = ResultCache()
+        first = run_many([spec], jobs=1, cache=cache,
+                         trace_dir=tmp_path)[0]
+        hit = run_many([spec], jobs=1, cache=cache)[0]
+        assert hit.cached and hit.trace_path == first.trace_path
+
+    def test_execute_run_with_trace_path(self, tmp_path):
+        path = tmp_path / "one.jsonl"
+        result = execute_run((zerodev_config(), small_workload()),
+                             trace_path=str(path))
+        assert result.system is None             # detached
+        assert result.trace_path == str(path) and path.is_file()
+
+
+# ---------------------------------------------------------------------------
+# Jobs validation (satellite)
+# ---------------------------------------------------------------------------
+class TestJobsValidation:
+    def test_parse_jobs_accepts_positive(self):
+        assert parse_jobs("4") == 4
+        assert parse_jobs(2) == 2
+        assert parse_jobs(" 8 ") == 8
+
+    @pytest.mark.parametrize("bad", ["0", "-2", "abc", "1.5", None, ""])
+    def test_parse_jobs_rejects_garbage(self, bad):
+        with pytest.raises(ConfigError):
+            parse_jobs(bad)
+
+    def test_default_jobs_reads_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        assert default_jobs() == 3
+
+    def test_default_jobs_unset_or_blank_is_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert default_jobs() == 1
+        monkeypatch.setenv("REPRO_JOBS", "  ")
+        assert default_jobs() == 1
+
+    @pytest.mark.parametrize("bad", ["0", "-1", "two"])
+    def test_default_jobs_rejects_bad_env(self, monkeypatch, bad):
+        monkeypatch.setenv("REPRO_JOBS", bad)
+        with pytest.raises(ConfigError):
+            default_jobs()
+
+    def test_run_many_validates_explicit_jobs(self):
+        with pytest.raises(ConfigError):
+            run_many([], jobs=0)
+
+
+# ---------------------------------------------------------------------------
+# Atomic archive writes (satellite)
+# ---------------------------------------------------------------------------
+class TestAtomicWrite:
+    def test_writes_and_replaces(self, tmp_path):
+        path = tmp_path / "out.json"
+        atomic_write_text(path, "first")
+        atomic_write_text(path, "second")
+        assert path.read_text() == "second"
+        assert list(tmp_path.iterdir()) == [path]  # no temp litter
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "nested" / "deep" / "out.json"
+        atomic_write_text(path, "x")
+        assert path.read_text() == "x"
+
+
+# ---------------------------------------------------------------------------
+# CLI surfacing
+# ---------------------------------------------------------------------------
+class TestCliSurfacing:
+    def test_trace_events_then_report(self, capsys, tmp_path):
+        from repro.cli import main
+        path = str(tmp_path / "run.jsonl")
+        assert main(["trace", "streamcluster", path,
+                     "--accesses", "300", "--epoch", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "ZERO directory-eviction victims" in out
+        assert main(["report", path]) == 0
+        assert "trace report" in capsys.readouterr().out
+
+    def test_trace_events_baseline_shows_devs(self, capsys, tmp_path):
+        from repro.cli import main
+        path = str(tmp_path / "base.jsonl")
+        assert main(["trace", "canneal", path, "--accesses", "400",
+                     "--events", "--protocol", "baseline",
+                     "--ratio", "0.03125"]) == 0
+        assert "DEV-caused" in capsys.readouterr().out
+
+    def test_report_missing_trace_is_clean_error(self, capsys, tmp_path):
+        from repro.cli import main
+        assert main(["report", str(tmp_path / "nope.jsonl")]) == 2
+        assert "no such trace" in capsys.readouterr().err

@@ -173,6 +173,52 @@ class TestResultCache:
         result = run_many([(config, workload)], jobs=1, cache=cache)[0]
         assert not result.cached
 
+    def _damaged_entry_recomputes_identically(self, tmp_path, damage):
+        """Write a real cache entry, damage it, assert the re-read misses
+        and the recomputation matches an uncached run bit-for-bit."""
+        config, workload = tiny_config(), small_workload()
+        key = run_key(config, workload)
+        expected = run_workload(build_system(config),
+                                workload).stats.as_dict()
+        writer = ResultCache(tmp_path)
+        run_many([(config, workload)], jobs=1, cache=writer)
+        path = tmp_path / f"{key}.pkl"
+        path.write_bytes(damage(path.read_bytes()))
+        cache = ResultCache(tmp_path)
+        assert cache.get(key) is None
+        result = run_many([(config, workload)], jobs=1, cache=cache)[0]
+        assert not result.cached
+        assert result.stats.as_dict() == expected
+        # The recomputation republished a good entry: next read hits.
+        assert ResultCache(tmp_path).get(key) is not None
+
+    def test_truncated_disk_entry_recomputed_identically(self, tmp_path):
+        """A torn write (interrupted process) must behave as a miss."""
+        self._damaged_entry_recomputes_identically(
+            tmp_path, lambda blob: blob[:len(blob) // 2])
+
+    def test_bitflipped_disk_entry_recomputed_identically(self, tmp_path):
+        """Bit rot in the pickle header must behave as a miss.
+
+        Byte 1 is the pickle protocol number; flipping its bits makes
+        every load raise "unsupported pickle protocol" deterministically.
+        """
+        self._damaged_entry_recomputes_identically(
+            tmp_path,
+            lambda blob: bytes([blob[0], blob[1] ^ 0xFF]) + blob[2:])
+
+    def test_wrong_object_disk_entry_recomputed(self, tmp_path):
+        """A pickle that decodes to a non-RunResult is treated as a miss."""
+        import pickle
+        config, workload = tiny_config(), small_workload()
+        key = run_key(config, workload)
+        (tmp_path / f"{key}.pkl").write_bytes(
+            pickle.dumps({"not": "a RunResult"}))
+        cache = ResultCache(tmp_path)
+        assert cache.get(key) is None
+        assert not run_many([(config, workload)], jobs=1,
+                            cache=cache)[0].cached
+
 
 class TestRunKey:
     def test_key_is_content_addressed(self):
