@@ -143,6 +143,16 @@ class LLCBank:
             self.remove(victim)
         self._frames[set_idx].append(line)
         index[line.block] = line
+        if (self.replacement is LLCReplacement.SP_LRU
+                and line.kind is not LineKind.SPILLED):
+            # spLRU orders a block's spilled entry *above* the block so
+            # the block ages out first; a (re)inserted data frame lands
+            # at MRU and would invert that, letting replacement evict
+            # the live entry while its block stays resident (the
+            # case-(iiib) hazard). Restore the entry-above-block order.
+            spill = self._spill_index.get(line.block)
+            if spill is not None:
+                self._touch(spill)
         if self.obs is not None:
             if line.kind is LineKind.SPILLED:
                 self.obs.emit(EventKind.ENTRY_SPILL, block=line.block)

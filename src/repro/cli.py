@@ -21,6 +21,14 @@ Commands
     Without: rebuild EXPERIMENTS.md from the archived benchmark tables.
 ``simulate PATH``
     Run a saved trace bundle under a chosen protocol and print stats.
+``fuzz``
+    Differential fuzzing: seeded adversarial traces through the whole
+    model matrix with per-step invariant checking; failures are ddmin-
+    shrunk to minimal reproducers. ``--inject`` turns the campaign into
+    a fault-injection soak.
+``shrink TRACE.npz``
+    Re-shrink a saved fuzz trace against one model and emit the
+    reduced ``.npz`` + pytest regression stub.
 """
 
 from __future__ import annotations
@@ -138,14 +146,63 @@ def _command_verify(args) -> int:
         return base.with_(protocol=Protocol(args.protocol))
 
     explorer = ExhaustiveExplorer(micro, cores=(0, 1), blocks=(0, 8, 1))
-    report = explorer.explore(depth=args.depth)
-    print(f"{args.protocol}: explored {report.sequences_explored:,} "
-          f"sequences at depth {args.depth}, checked "
-          f"{report.states_checked:,} states")
+    if args.samples:
+        report = explorer.explore_sampled(depth=args.depth,
+                                          samples=args.samples,
+                                          seed=args.seed,
+                                          jobs=args.jobs or 1)
+        print(f"{args.protocol}: sampled {report.sequences_explored:,} "
+              f"of the depth-{args.depth} sequences (seed {args.seed}), "
+              f"checked {report.states_checked:,} states")
+    else:
+        report = explorer.explore(depth=args.depth)
+        print(f"{args.protocol}: explored {report.sequences_explored:,} "
+              f"sequences at depth {args.depth}, checked "
+              f"{report.states_checked:,} states")
     if report.ok:
         print("all invariants hold")
         return 0
     print(f"COUNTEREXAMPLE: {report.counterexample}")
+    return 1
+
+
+def _command_fuzz(args) -> int:
+    """Differential fuzzing / fault injection (see PROTOCOL.md §7)."""
+    from repro.verify import run_campaign
+    from repro.verify.faults import FaultKind, FaultPlan
+
+    fault = None
+    if args.inject:
+        fault = FaultPlan(FaultKind(args.inject), at=args.at)
+    report = run_campaign(
+        seed=args.seed, budget=args.budget, jobs=args.jobs or 1,
+        check_every=args.check_every, fault=fault,
+        shrink=not args.no_shrink, out_dir=args.out)
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
+def _command_shrink(args) -> int:
+    """Reduce a saved fuzz trace to a minimal reproducer."""
+    from repro.verify import (FuzzTrace, emit_regression, model_by_name,
+                              run_trace, shrink_trace)
+    from repro.verify.faults import FaultKind, FaultPlan
+
+    trace = FuzzTrace.load(args.path)
+    spec = model_by_name(args.model)
+    fault = None
+    if args.inject:
+        fault = FaultPlan(FaultKind(args.inject), at=args.at)
+    outcome = run_trace(spec, trace, fault=fault)
+    if outcome.ok:
+        print(f"{trace!r} passes on {spec.name}; nothing to shrink")
+        return 0
+    minimized, final = shrink_trace(spec, trace, reference=outcome,
+                                    fault=fault)
+    print(f"shrunk {len(trace)} -> {len(minimized)} accesses: {final}")
+    if args.out:
+        npz, test = emit_regression(spec, minimized, final, args.out)
+        print(f"wrote {npz}\nwrote {test}")
     return 1
 
 
@@ -227,6 +284,11 @@ def _command_simulate(args) -> int:
     return 0
 
 
+def _fault_kinds():
+    from repro.verify.faults import FaultKind
+    return list(FaultKind)
+
+
 def _jobs_argument(value: str) -> int:
     """argparse type for ``--jobs``: positive integer or a clean error."""
     from repro.harness.parallel import parse_jobs
@@ -263,6 +325,45 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument("--protocol", default="zerodev",
                         choices=[p.value for p in Protocol])
     verify.add_argument("--depth", type=int, default=3)
+    verify.add_argument("--samples", type=int, default=0,
+                        help="sample this many sequences instead of "
+                             "exhausting the depth (0 = exhaustive)")
+    verify.add_argument("--seed", type=int, default=0,
+                        help="sampling seed (with --samples)")
+    verify.add_argument("--jobs", type=_jobs_argument, default=None,
+                        help="worker processes (with --samples)")
+
+    fuzz = commands.add_parser(
+        "fuzz", help="differential fuzzing across the model matrix")
+    fuzz.add_argument("--seed", type=int, default=0)
+    fuzz.add_argument("--budget", type=int, default=50,
+                      help="number of traces (each runs on every model)")
+    fuzz.add_argument("--jobs", type=_jobs_argument, default=None)
+    fuzz.add_argument("--check-every", type=int, default=1,
+                      help="invariant-check every N accesses")
+    fuzz.add_argument("--inject", default=None,
+                      choices=[k.value for k in _fault_kinds()],
+                      help="fault-injection soak instead of a clean "
+                           "campaign")
+    fuzz.add_argument("--at", type=int, default=1,
+                      help="inject on the Nth seam traversal")
+    fuzz.add_argument("--no-shrink", action="store_true",
+                      help="skip ddmin reduction of divergences")
+    fuzz.add_argument("--out", default=None,
+                      help="directory for minimal-reproducer .npz + "
+                           "pytest regression stubs")
+
+    shrink = commands.add_parser(
+        "shrink", help="reduce a saved fuzz trace to a minimal repro")
+    shrink.add_argument("path", help="a FuzzTrace .npz")
+    shrink.add_argument("--model", default="zerodev-fuse-private-spill-shared",
+                        help="model name from the fuzz matrix")
+    shrink.add_argument("--inject", default=None,
+                        choices=[k.value for k in _fault_kinds()],
+                        help="arm this fault while shrinking")
+    shrink.add_argument("--at", type=int, default=1)
+    shrink.add_argument("--out", default=None,
+                        help="directory for the reduced artifacts")
 
     report = commands.add_parser(
         "report", help="render a trace report, or rebuild "
@@ -316,6 +417,8 @@ def main(argv=None) -> int:
         "run": _command_run,
         "demo": _command_demo,
         "verify": _command_verify,
+        "fuzz": _command_fuzz,
+        "shrink": _command_shrink,
         "report": _command_report,
         "trace": _command_trace,
         "simulate": _command_simulate,

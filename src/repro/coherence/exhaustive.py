@@ -26,6 +26,7 @@ from typing import Callable, List, Optional, Sequence, Tuple
 from repro.common.addressing import BLOCK_SHIFT
 from repro.common.config import SystemConfig
 from repro.common.errors import SimulationError
+from repro.harness.parallel import parallel_map
 from repro.harness.system_builder import build_system
 from repro.workloads.trace import Op
 
@@ -91,6 +92,33 @@ class ExhaustiveExplorer:
             system.access(core, op, block << BLOCK_SHIFT)
         return system
 
+    def _evaluate(self, sequence
+                  ) -> Tuple[int, Optional[Counterexample]]:
+        """Run one sequence end to end on a fresh system.
+
+        Returns ``(states_checked, counterexample)``: 1 checked state
+        when the end-of-sequence invariant check passed, else the
+        failing prefix (or full sequence) with its error.
+        """
+        system = build_system(self._config_factory())
+        for index, (core, op, block) in enumerate(sequence):
+            try:
+                system.access(core, op, block << BLOCK_SHIFT)
+            except Exception as error:     # noqa: BLE001 - reported
+                return 0, Counterexample(sequence[:index + 1], error)
+        try:
+            self._check(system)
+            return 1, None
+        except Exception as error:         # noqa: BLE001 - reported
+            return 0, Counterexample(sequence, error)
+
+    def replay(self, sequence) -> Optional[Counterexample]:
+        """Re-run a (counterexample) sequence under the same check
+        discipline as :meth:`explore_sampled`; returns the reproduced
+        failure, or None when the sequence now passes."""
+        _, counterexample = self._evaluate(tuple(sequence))
+        return counterexample
+
     def explore(self, depth: int,
                 check_every_step: bool = True) -> ExplorationReport:
         """Explore all sequences of exactly ``depth`` accesses.
@@ -123,29 +151,58 @@ class ExhaustiveExplorer:
                     return report
         return report
 
-    def explore_sampled(self, depth: int, samples: int,
-                        seed: int = 0) -> ExplorationReport:
+    def explore_sampled(self, depth: int, samples: int, seed: int = 0,
+                        jobs: int = 1) -> ExplorationReport:
         """Uniformly sample ``samples`` sequences of ``depth`` accesses
-        (for depths where the full product is intractable)."""
+        (for depths where the full product is intractable).
+
+        Reproducible from ``seed`` regardless of ``jobs``: every
+        sequence is drawn from the seeded generator *before* any work is
+        partitioned, sequences are evaluated independently (one fresh
+        system each), and outcomes are folded in draw order -- the
+        counterexample, when one exists, is always the lowest-index
+        failing sequence, and the report is identical for every worker
+        count. Parallel workers read the explorer through a module
+        global inherited at fork time (configs built from closures need
+        not pickle); without fork the call runs serially.
+        """
         import random
         rng = random.Random(seed)
+        sequences = [tuple(rng.choice(self._alphabet)
+                           for _ in range(depth))
+                     for _ in range(samples)]
         report = ExplorationReport(depth, len(self._alphabet))
-        for _ in range(samples):
-            sequence = tuple(rng.choice(self._alphabet)
-                             for _ in range(depth))
-            report.sequences_explored += 1
-            system = build_system(self._config_factory())
-            for index, (core, op, block) in enumerate(sequence):
-                try:
-                    system.access(core, op, block << BLOCK_SHIFT)
-                except Exception as error:   # noqa: BLE001 - reported
-                    report.counterexample = Counterexample(
-                        sequence[:index + 1], error)
-                    return report
+        if jobs > 1:
+            global _ACTIVE_EXPLORER
+            _ACTIVE_EXPLORER = self
             try:
-                self._check(system)
-                report.states_checked += 1
-            except Exception as error:       # noqa: BLE001 - reported
-                report.counterexample = Counterexample(sequence, error)
+                outcomes = parallel_map(_evaluate_in_worker, sequences,
+                                        jobs=jobs, chunksize=8,
+                                        require_fork=True)
+            finally:
+                _ACTIVE_EXPLORER = None
+            for checked, counterexample in outcomes:
+                report.sequences_explored += 1
+                if counterexample is not None:
+                    report.counterexample = counterexample
+                    return report
+                report.states_checked += checked
+            return report
+        for sequence in sequences:
+            report.sequences_explored += 1
+            checked, counterexample = self._evaluate(sequence)
+            if counterexample is not None:
+                report.counterexample = counterexample
                 return report
+            report.states_checked += checked
         return report
+
+
+#: Explorer shared with forked explore_sampled workers (fork inherits
+#: the global, so unpicklable config factories travel for free).
+_ACTIVE_EXPLORER: Optional[ExhaustiveExplorer] = None
+
+
+def _evaluate_in_worker(sequence):
+    assert _ACTIVE_EXPLORER is not None
+    return _ACTIVE_EXPLORER._evaluate(sequence)  # noqa: SLF001

@@ -82,6 +82,9 @@ class MemoryHousing:
     def housed_blocks(self):
         return self._housed.keys()
 
+    def garbage_blocks(self):
+        return iter(self._garbage)
+
 
 class DirEvictBitmap:
     """Per-block DirEvict bits with a small on-chip bit cache.

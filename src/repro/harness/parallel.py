@@ -117,6 +117,35 @@ def _pool_context():
         "fork" if "fork" in methods else None)
 
 
+def fork_available() -> bool:
+    """True when fork-start workers (sharing module globals set before
+    the pool is created) are available on this platform."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def parallel_map(fn, items, jobs: int = 1, chunksize: int = 1,
+                 require_fork: bool = False):
+    """Order-preserving map of ``fn`` over ``items`` on a worker pool.
+
+    The shared fan-out primitive behind :func:`run_many`, the sampled
+    protocol explorer, and ``repro fuzz`` campaigns. ``fn`` must be a
+    module-level (picklable) callable; callers whose per-item context
+    cannot be pickled set a module global before calling and pass
+    ``require_fork=True`` -- forked workers inherit the global, and the
+    call degrades to the serial path when fork is unavailable (results
+    are identical either way; only wall-clock differs).
+    """
+    items = list(items)
+    effective = min(jobs, len(items), os.cpu_count() or 1)
+    if effective > 1 and require_fork and not fork_available():
+        effective = 1
+    if effective <= 1:
+        return [fn(item) for item in items]
+    context = _pool_context()
+    with context.Pool(effective) as pool:
+        return list(pool.imap(fn, items, chunksize=chunksize))
+
+
 def _trace_path_for(trace_dir, index: int, spec: RunSpec) -> str:
     directory = Path(trace_dir)
     directory.mkdir(parents=True, exist_ok=True)
@@ -167,16 +196,9 @@ def run_many(specs: Sequence[RunSpec], jobs: Optional[int] = None,
 
     executed = 0
     if pending:
-        effective = min(jobs, len(pending), os.cpu_count() or 1)
-        if effective > 1:
-            context = _pool_context()
-            with context.Pool(effective) as pool:
-                for index, result in pool.imap_unordered(
-                        _pool_worker, pending, chunksize=1):
-                    results[index] = result
-        else:
-            for index, spec, trace_path in pending:
-                results[index] = execute_run(spec, trace_path)
+        for index, result in parallel_map(_pool_worker, pending,
+                                          jobs=jobs):
+            results[index] = result
         executed = len(pending)
         if cache is not None:
             for index, _spec, _trace in pending:

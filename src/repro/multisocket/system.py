@@ -360,6 +360,18 @@ class MultiSocketSystem:
         self._dram_version[block] = version
         if block in self._garbage:
             self._garbage.discard(block)
+            self._heal_socket_housings(block)
+
+    def _heal_socket_housings(self, block: int) -> None:
+        """Real data reached home memory: every socket's segment of the
+        block is overwritten, so per-socket corrupted-bitmap entries must
+        drop too (they would otherwise stay set forever -- the count
+        never returning to zero). A socket still *housing* an entry here
+        would mean the write destroyed a live entry; ``heal`` raises."""
+        for socket in self.sockets:
+            housing = getattr(socket, "_housing", None)
+            if housing is not None and housing.is_garbage(block):
+                housing.heal(block)
 
     def presence_lost(self, socket: CMPSystem, block: int,
                       version: int) -> None:
@@ -386,6 +398,7 @@ class MultiSocketSystem:
             home.dram.write(block)
             self._dram_version[block] = version
             self._garbage.discard(block)
+            self._heal_socket_housings(block)
             socket.stats.corrupted_blocks_restored += 1
 
     # ------------------------------------------------------------------
@@ -512,3 +525,22 @@ class MultiSocketSystem:
             if entry.state is not DirState.ME or len(set(holders)) > 1:
                 raise ProtocolInvariantError(
                     f"socket-level SWMR violated for block {block:#x}")
+        # Corrupted-bitmap consistency: a socket-local garbage bit means
+        # the socket's segment of home memory holds entry bits, which is
+        # only possible while the home image is corrupted system-wide;
+        # and a corrupted block must still have socket sharers to serve
+        # reads from (else it should have been restored).
+        for socket in self.sockets:
+            housing = getattr(socket, "_housing", None)
+            if housing is None:
+                continue
+            for block in housing.garbage_blocks():
+                if block not in self._garbage:
+                    raise ProtocolInvariantError(
+                        f"socket {socket.node_id} marks block {block:#x} "
+                        "corrupted but home memory is clean")
+        for block in self._garbage:
+            entry = self._entries.get(block)
+            if entry is None or entry.empty:
+                raise ProtocolInvariantError(
+                    f"corrupted block {block:#x} has no socket sharers")

@@ -1,0 +1,261 @@
+"""Differential fuzz campaigns: every trace through every model.
+
+A campaign draws ``budget`` adversarial traces (seeded, reproducible at
+any ``jobs`` value -- same discipline as the sampled protocol explorer)
+and runs each through the whole model matrix. Three things count as a
+divergence:
+
+* any run raising -- a protocol assertion, the shadow oracle, a
+  structural LLC/housing check, or the final read-back;
+* a ZeroDEV model finishing with DEV invalidations;
+* models disagreeing on the final committed-version map for the same
+  trace (they executed the same writes, so the digests must be equal).
+
+With ``fault`` set, the campaign becomes a fault-injection soak over
+the models carrying that seam: *detectable* faults must turn into
+non-``ok`` outcomes in every run where they fired, *graceful* faults
+must change nothing. Either way the campaign reports whether the fault
+actually fired -- an injection that never reaches its seam is a
+coverage failure, not a pass.
+
+Failing runs are ddmin-shrunk to minimal reproducers, optionally
+emitted as replayable ``.npz`` + pytest regressions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.harness.parallel import parallel_map
+from repro.verify.faults import DETECTABLE, FaultPlan, arm_fault
+from repro.verify.models import ModelSpec, micro_config, model_matrix
+from repro.verify.oracle import Outcome, run_trace
+from repro.verify.shrink import emit_regression, shrink_trace
+from repro.verify.tracegen import FuzzTrace, TraceGenerator, TraceGeometry
+
+#: Cap on how many divergences are shrunk per campaign (each shrink is
+#: O(n^2) re-runs; past the first few, more reproducers add no signal).
+MAX_SHRINKS = 4
+
+
+@dataclass
+class Divergence:
+    """One failing (model, trace) pair, plus its reduction if made."""
+
+    outcome: Outcome
+    trace: FuzzTrace
+    minimized: Optional[FuzzTrace] = None
+    minimized_outcome: Optional[Outcome] = None
+    npz_path: Optional[str] = None
+    test_path: Optional[str] = None
+
+    def __str__(self) -> str:
+        text = str(self.minimized_outcome or self.outcome)
+        if self.minimized is not None:
+            text += f" [shrunk {len(self.trace)} -> {len(self.minimized)}]"
+        if self.npz_path:
+            text += f" -> {self.npz_path}"
+        return text
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of one campaign."""
+
+    seed: int
+    budget: int
+    models: Tuple[str, ...]
+    runs: int = 0
+    traces_run: int = 0
+    divergences: List[Divergence] = field(default_factory=list)
+    digest_mismatches: List[str] = field(default_factory=list)
+    fault: Optional[str] = None
+    fault_fired_runs: int = 0
+    fault_detected_runs: int = 0
+    fault_missed: List[Outcome] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        if self.fault is not None:
+            # An injection campaign succeeds when the fault fired
+            # somewhere and every firing was handled per its contract.
+            return bool(self.fault_fired_runs) and not self.fault_missed
+        return not self.divergences and not self.digest_mismatches
+
+    def summary(self) -> str:
+        lines = [f"fuzz seed={self.seed} budget={self.budget}: "
+                 f"{self.traces_run} traces x {len(self.models)} models, "
+                 f"{self.runs} runs"]
+        if self.fault is not None:
+            verdict = "ok" if self.ok else "FAILED"
+            lines.append(
+                f"  injected {self.fault}: fired in "
+                f"{self.fault_fired_runs} runs, detected in "
+                f"{self.fault_detected_runs}, contract {verdict}")
+            for outcome in self.fault_missed:
+                lines.append(f"  MISSED: {outcome}")
+        for mismatch in self.digest_mismatches:
+            lines.append(f"  DIGEST: {mismatch}")
+        for divergence in self.divergences:
+            lines.append(f"  DIVERGENCE: {divergence}")
+        if self.ok and self.fault is None:
+            lines.append("  no divergences")
+        return "\n".join(lines)
+
+
+def _models_for(fault: Optional[FaultPlan],
+                models: Optional[Sequence[ModelSpec]]) -> List[ModelSpec]:
+    matrix = list(models) if models is not None else model_matrix()
+    if fault is None:
+        return matrix
+    applicable = []
+    for spec in matrix:
+        try:
+            arm_fault(spec.build(), fault)
+        except Exception:              # noqa: BLE001 - capability probe
+            continue
+        applicable.append(spec)
+    return applicable
+
+
+# Worker-side context, inherited over fork (see harness.parallel): the
+# (spec, trace, check_every, fault) tuples themselves pickle fine, but
+# routing through a module global keeps one code path for both modes.
+_ACTIVE_JOBS: List[Tuple[ModelSpec, FuzzTrace, int,
+                         Optional[FaultPlan]]] = []
+
+
+def _run_job(index: int) -> Tuple[Outcome, int]:
+    spec, trace, check_every, fault = _ACTIVE_JOBS[index]
+    outcome = run_trace(spec, trace, check_every=check_every, fault=fault)
+    return outcome, index
+
+
+def run_campaign(seed: int, budget: int,
+                 models: Optional[Sequence[ModelSpec]] = None,
+                 jobs: int = 1, check_every: int = 1,
+                 steps_per_trace: int = 48,
+                 fault: Optional[FaultPlan] = None,
+                 shrink: bool = True,
+                 out_dir=None) -> FuzzReport:
+    """Run a ``budget``-trace differential campaign.
+
+    Reproducible: all traces are generated from ``seed`` up front and
+    outcomes are folded in a fixed order, so the report is identical for
+    every ``jobs`` value.
+    """
+    specs = _models_for(fault, models)
+    geometry = TraceGeometry.of(micro_config())
+    generator = TraceGenerator(geometry, seed,
+                               steps_per_trace=steps_per_trace)
+    traces = [generator.trace(index) for index in range(budget)]
+    report = FuzzReport(seed, budget,
+                        tuple(spec.name for spec in specs),
+                        fault=None if fault is None else fault.kind.value)
+
+    global _ACTIVE_JOBS
+    _ACTIVE_JOBS = [(spec, trace, check_every, fault)
+                    for trace in traces for spec in specs]
+    try:
+        outcomes = parallel_map(_run_job, range(len(_ACTIVE_JOBS)),
+                                jobs=jobs, chunksize=4, require_fork=True)
+    finally:
+        job_list, _ACTIVE_JOBS = _ACTIVE_JOBS, []
+
+    report.runs = len(outcomes)
+    report.traces_run = len(traces)
+    per_trace: List[List[Outcome]] = [[] for _ in traces]
+    for outcome, index in outcomes:
+        per_trace[index // len(specs)].append(outcome)
+
+    for trace, trace_outcomes in zip(traces, per_trace):
+        if fault is not None:
+            _classify_injection(report, specs, trace, trace_outcomes,
+                                fault)
+            continue
+        for outcome in trace_outcomes:
+            if not outcome.ok:
+                report.divergences.append(Divergence(outcome, trace))
+        digests = {o.memory_digest for o in trace_outcomes if o.ok}
+        if len(digests) > 1:
+            detail = ", ".join(
+                f"{o.model}={len(o.memory_digest)} blocks"
+                for o in trace_outcomes if o.ok)
+            report.digest_mismatches.append(
+                f"{trace.name}: final-memory digests disagree ({detail})")
+
+    if fault is None and shrink:
+        _shrink_divergences(report, specs, check_every, out_dir)
+    return report
+
+
+def _classify_injection(report: FuzzReport, specs: Sequence[ModelSpec],
+                        trace: FuzzTrace, outcomes: Sequence[Outcome],
+                        fault: FaultPlan) -> None:
+    """Check every run of one trace against the fault's contract."""
+    for spec, outcome in zip(specs, outcomes):
+        fired = _fault_fires(spec, trace, fault)
+        if not fired:
+            if not outcome.ok:
+                # Fault never fired yet the run failed: a plain bug,
+                # not an injection result.
+                report.divergences.append(Divergence(outcome, trace))
+            continue
+        report.fault_fired_runs += 1
+        if fault.kind in DETECTABLE:
+            if outcome.ok:
+                report.fault_missed.append(outcome)
+            else:
+                report.fault_detected_runs += 1
+        else:
+            if outcome.ok:
+                report.fault_detected_runs += 1
+            else:
+                report.fault_missed.append(outcome)
+
+
+def _fault_fires(spec: ModelSpec, trace: FuzzTrace,
+                 fault: FaultPlan) -> bool:
+    """Re-run the pair with a locally armed fault and report firing.
+
+    The parallel worker cannot ship its armed handle back, but the
+    simulator is deterministic: a local replay traverses the seam the
+    same number of times. Checks are skipped -- only the traversal
+    count matters -- and the replay stops at the first firing or error.
+    """
+    from repro.common.addressing import BLOCK_SHIFT
+
+    system = spec.build()
+    armed = arm_fault(system, fault)
+    try:
+        for core, op, block in trace.decoded():
+            socket, local = spec.map_core(core)
+            if spec.n_sockets == 1:
+                system.access(local, op, block << BLOCK_SHIFT)
+            else:
+                system.access(socket, local, op, block << BLOCK_SHIFT)
+            if armed.fired:
+                return True
+    except Exception:                  # noqa: BLE001 - probe only
+        pass
+    return bool(armed.fired)
+
+
+def _shrink_divergences(report: FuzzReport, specs: Sequence[ModelSpec],
+                        check_every: int, out_dir) -> None:
+    by_name = {spec.name: spec for spec in specs}
+    for divergence in report.divergences[:MAX_SHRINKS]:
+        spec = by_name[divergence.outcome.model]
+        try:
+            minimized, outcome = shrink_trace(
+                spec, divergence.trace, reference=divergence.outcome,
+                check_every=check_every)
+        except ValueError:
+            continue                    # flaky under different checking
+        divergence.minimized = minimized
+        divergence.minimized_outcome = outcome
+        if out_dir is not None:
+            npz, test = emit_regression(spec, minimized, outcome, out_dir)
+            divergence.npz_path = str(npz)
+            divergence.test_path = str(test)

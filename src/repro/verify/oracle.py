@@ -1,0 +1,243 @@
+"""Drive one trace through one model under full instrumentation.
+
+Correctness here is layered, from cheap to thorough:
+
+1. **Per-access**: the protocol's built-in shadow-memory check
+   (``check_data``) asserts every load is served the latest committed
+   version -- the load-value half of the equivalence claim.
+2. **Per-step** (every ``check_every`` accesses): the system's own
+   ``check_invariants`` (SWMR, directory precision, entry-location
+   exclusivity, corrupted-bitmap consistency) plus the structural checks
+   below -- LLC set occupancy and index consistency, spLRU
+   entry-above-block ordering, housed-implies-garbage and the
+   case-(iiib) ban on a block being LLC-resident while its entry is
+   housed in memory.
+3. **Per-run**: ZeroDEV models must finish with *zero* DEV-caused
+   private invalidations, counted both in the stats and as
+   ``priv_inv:dev`` events on the obs bus (two independent witnesses).
+4. **Read-back**: after the trace, every touched block is loaded once
+   more. Whatever final resting place the protocol chose -- private
+   line, LLC frame, housed-entry promotion path, DRAM -- the load must
+   produce the latest version, which is the final-memory half of the
+   equivalence claim: silent data loss anywhere surfaces here at the
+   latest.
+
+Any exception at any layer is captured as a non-``ok`` :class:`Outcome`
+with the failing step index, which is exactly the interface the ddmin
+shrinker needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.caches.block import LineKind
+from repro.common.addressing import BLOCK_SHIFT
+from repro.common.config import LLCReplacement
+from repro.common.errors import ProtocolInvariantError
+from repro.obs import EventBus, attach, attach_multisocket
+from repro.verify.models import ModelSpec
+from repro.verify.tracegen import FuzzTrace
+from repro.workloads.trace import Op
+
+
+class DivergenceError(ProtocolInvariantError):
+    """A model-level verification check failed (the model diverged from
+    the specified behaviour, even though no protocol assertion fired)."""
+
+
+class DevEventCounter:
+    """Obs sink counting DEV-caused private invalidations."""
+
+    def __init__(self) -> None:
+        self.dev_invalidations = 0
+
+    def handle(self, event) -> None:
+        if event.key() == "priv_inv:dev":
+            self.dev_invalidations += 1
+
+
+@dataclass
+class Outcome:
+    """Result of one (model, trace) run."""
+
+    model: str
+    trace: str
+    ok: bool
+    steps_run: int = 0
+    #: Step index at which the failure surfaced; equals ``steps_run``
+    #: for failures in the post-trace checks / read-back.
+    failing_step: int = -1
+    phase: str = ""                   # trace | final | readback
+    error: str = ""
+    error_type: str = ""
+    dev_invalidations: int = 0
+    #: Final committed-version map (block -> version). Identical write
+    #: sequences commit identical versions, so this digest must match
+    #: across every model that ran the same trace.
+    memory_digest: Tuple[Tuple[int, int], ...] = field(default=())
+
+    def __str__(self) -> str:
+        if self.ok:
+            return f"{self.model} x {self.trace}: ok"
+        return (f"{self.model} x {self.trace}: {self.error_type} at "
+                f"step {self.failing_step} ({self.phase}): {self.error}")
+
+
+def _each_socket(spec: ModelSpec, system):
+    if spec.n_sockets == 1:
+        yield system
+    else:
+        yield from system.sockets
+
+
+def _check_llc_structure(spec: ModelSpec, system) -> None:
+    sp_lru = spec.config.llc_replacement is LLCReplacement.SP_LRU
+    for socket in _each_socket(spec, system):
+        for bank in socket.banks:
+            spilled_seen = 0
+            for set_idx in range(bank.sets):
+                frames = bank.frames_in_set(set_idx)
+                if len(frames) > bank.ways:
+                    raise DivergenceError(
+                        f"bank {bank.bank_id} set {set_idx} holds "
+                        f"{len(frames)} frames in {bank.ways} ways")
+                data_pos, spill_pos = {}, {}
+                for pos, line in enumerate(frames):
+                    bucket = (spill_pos
+                              if line.kind is LineKind.SPILLED
+                              else data_pos)
+                    if line.block in bucket:
+                        raise DivergenceError(
+                            f"duplicate {line.kind.name} frame for block "
+                            f"{line.block:#x} in bank {bank.bank_id}")
+                    bucket[line.block] = pos
+                    if line.kind is LineKind.SPILLED:
+                        spilled_seen += 1
+                        if bank.peek_spill(line.block) is not line:
+                            raise DivergenceError(
+                                f"spilled frame for block {line.block:#x} "
+                                "missing from the spill index")
+                if not sp_lru:
+                    continue
+                for block, pos in spill_pos.items():
+                    # spLRU invariant: a resident spilled entry sits
+                    # *above* (more recent than) its block, so the
+                    # block ages out first (Section III-D1).
+                    if block in data_pos and pos < data_pos[block]:
+                        raise DivergenceError(
+                            f"spLRU order inverted for block {block:#x}: "
+                            "spilled entry is older than its block")
+            if bank.spilled_count() != spilled_seen:
+                raise DivergenceError(
+                    f"bank {bank.bank_id} spill index tracks "
+                    f"{bank.spilled_count()} entries but "
+                    f"{spilled_seen} spilled frames are resident")
+
+
+def _check_housing(spec: ModelSpec, system) -> None:
+    for socket in _each_socket(spec, system):
+        housing = getattr(socket, "_housing", None)
+        if housing is None:
+            continue
+        for block in housing.housed_blocks():
+            if not housing.is_garbage(block):
+                raise DivergenceError(
+                    f"block {block:#x} houses an entry but is not "
+                    "marked corrupted")
+            bank = socket.bank_of(block)
+            # Case (iiib): while the entry lives in home memory the
+            # block must not be LLC-resident (Section III-D2).
+            if bank.peek_data(block) is not None or \
+                    bank.peek_spill(block) is not None:
+                raise DivergenceError(
+                    f"block {block:#x} is LLC-resident while its entry "
+                    "is housed in memory (case iiib)")
+
+
+def _check_step(spec: ModelSpec, system) -> None:
+    system.check_invariants()
+    _check_llc_structure(spec, system)
+    _check_housing(spec, system)
+
+
+def _dev_count(spec: ModelSpec, system) -> int:
+    if spec.n_sockets == 1:
+        return system.stats.dev_invalidations
+    return sum(stats.dev_invalidations for stats in system.stats)
+
+
+def _shadow_of(spec: ModelSpec, system):
+    if spec.n_sockets == 1:
+        return system.shadow
+    return system.sockets[0].shadow
+
+
+def run_trace(spec: ModelSpec, trace: FuzzTrace, check_every: int = 1,
+              fault=None) -> Outcome:
+    """Run ``trace`` on a fresh instance of ``spec``'s model.
+
+    ``fault`` is an optional :class:`~repro.verify.faults.FaultPlan`
+    armed on the freshly built system before the first access.
+    """
+    outcome = Outcome(spec.name, trace.name, ok=False)
+    system = spec.build()
+    bus = EventBus()
+    counter = DevEventCounter()
+    bus.subscribe(counter)
+    if spec.n_sockets == 1:
+        attach(system, bus)
+    else:
+        attach_multisocket(system, bus)
+    if fault is not None:
+        from repro.verify.faults import arm_fault
+        arm_fault(system, fault)
+
+    def issue(trace_core: int, op: Op, block: int) -> None:
+        socket, core = spec.map_core(trace_core)
+        if spec.n_sockets == 1:
+            system.access(core, op, block << BLOCK_SHIFT)
+        else:
+            system.access(socket, core, op, block << BLOCK_SHIFT)
+        bus.step += 1
+
+    step = 0
+    phase = "trace"
+    try:
+        for step, (core, op, block) in enumerate(trace.decoded()):
+            issue(core, op, block)
+            if (step + 1) % check_every == 0:
+                _check_step(spec, system)
+        step = len(trace)
+        phase = "final"
+        _check_step(spec, system)
+        if spec.is_zerodev:
+            stat_devs = _dev_count(spec, system)
+            if stat_devs or counter.dev_invalidations:
+                raise DivergenceError(
+                    f"ZeroDEV model issued {stat_devs} DEV invalidations "
+                    f"({counter.dev_invalidations} priv_inv:dev events)")
+        phase = "readback"
+        for block in sorted({s[2] for s in trace.steps}):
+            # The built-in shadow check fires if the latest version of
+            # the block is no longer recoverable from any layer.
+            issue(0, Op.READ, block)
+            _check_step(spec, system)
+    except Exception as error:            # noqa: BLE001 - reported
+        outcome.steps_run = min(step + 1, len(trace))
+        outcome.failing_step = step
+        outcome.phase = phase
+        outcome.error = str(error)
+        outcome.error_type = type(error).__name__
+        outcome.dev_invalidations = counter.dev_invalidations
+        return outcome
+
+    outcome.ok = True
+    outcome.steps_run = len(trace)
+    outcome.phase = "done"
+    outcome.dev_invalidations = counter.dev_invalidations
+    shadow = _shadow_of(spec, system)
+    outcome.memory_digest = tuple(
+        sorted(shadow._latest.items()))    # noqa: SLF001 - oracle probe
+    return outcome

@@ -1,0 +1,153 @@
+"""Delta-debugging reduction of failing traces to minimal reproducers.
+
+A raw fuzz divergence is dozens of accesses of noise around a handful
+that matter. :func:`shrink_trace` applies ddmin (Zeller & Hildebrandt,
+TSE 2002) over the access list: repeatedly re-run the model on subsets
+and keep the smallest subset that still fails *with the same error
+type*. Because the simulator is deterministic, one re-run per candidate
+is a sound oracle.
+
+:func:`emit_regression` then freezes the minimal trace as a replayable
+``.npz`` plus a generated pytest module asserting the run is clean --
+failing until the underlying bug is fixed, guarding it forever after.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Optional, Tuple
+
+from repro.verify.models import ModelSpec
+from repro.verify.oracle import Outcome, run_trace
+from repro.verify.tracegen import FuzzTrace
+
+
+def _fails_like(spec: ModelSpec, candidate: FuzzTrace,
+                reference: Outcome, check_every: int,
+                fault) -> Optional[Outcome]:
+    outcome = run_trace(spec, candidate, check_every=check_every,
+                        fault=fault)
+    if outcome.ok:
+        return None
+    if reference.error_type and \
+            outcome.error_type != reference.error_type:
+        # A different bug: still interesting, but chasing it here would
+        # let ddmin wander between failure modes and converge on
+        # neither. Shrink one bug at a time.
+        return None
+    return outcome
+
+
+def shrink_trace(spec: ModelSpec, trace: FuzzTrace,
+                 reference: Optional[Outcome] = None,
+                 check_every: int = 1,
+                 fault=None) -> Tuple[FuzzTrace, Outcome]:
+    """ddmin ``trace`` to a minimal sequence still failing on ``spec``.
+
+    Returns the reduced trace and its failing outcome. ``reference``
+    (the original failure) pins the error type being chased; omitted, it
+    is obtained by one extra run. Raises ``ValueError`` if the full
+    trace does not fail to begin with.
+    """
+    if reference is None or reference.ok:
+        reference = run_trace(spec, trace, check_every=check_every,
+                              fault=fault)
+        if reference.ok:
+            raise ValueError(
+                f"trace {trace.name} does not fail on {spec.name}; "
+                "nothing to shrink")
+
+    steps = list(trace.steps)
+    # The failure surfaced at failing_step; everything after it is dead
+    # weight, so truncate before the quadratic phase.
+    if 0 <= reference.failing_step < len(steps) - 1 and \
+            reference.phase == "trace":
+        truncated = trace.with_steps(steps[:reference.failing_step + 1])
+        outcome = _fails_like(spec, truncated, reference, check_every,
+                              fault)
+        if outcome is not None:
+            steps = list(truncated.steps)
+            reference = outcome
+
+    best = reference
+    granularity = 2
+    while len(steps) >= 2:
+        chunk = max(1, len(steps) // granularity)
+        reduced = False
+        start = 0
+        while start < len(steps):
+            candidate_steps = steps[:start] + steps[start + chunk:]
+            if not candidate_steps:
+                start += chunk
+                continue
+            candidate = trace.with_steps(candidate_steps)
+            outcome = _fails_like(spec, candidate, reference,
+                                  check_every, fault)
+            if outcome is not None:
+                steps = candidate_steps
+                best = outcome
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                # Restart the sweep on the smaller list.
+                start = 0
+                continue
+            start += chunk
+        if not reduced:
+            if granularity >= len(steps):
+                break
+            granularity = min(len(steps), granularity * 2)
+    return trace.with_steps(steps), best
+
+
+_NAME_RE = re.compile(r"[^0-9a-zA-Z]+")
+
+
+def _safe(name: str) -> str:
+    return _NAME_RE.sub("_", name).strip("_").lower()
+
+
+REGRESSION_TEMPLATE = '''\
+"""Auto-generated fuzz regression ({model} x {trace}).
+
+Minimal reproducer shrunk from a differential-fuzzing divergence:
+    {error_type} at step {failing_step} ({phase}): {error}
+
+The assertion holds once the underlying bug is fixed; the trace next to
+this file replays the exact failing access sequence.
+"""
+
+from pathlib import Path
+
+from repro.verify import FuzzTrace, model_by_name, run_trace
+
+TRACE_PATH = Path(__file__).with_name("{npz_name}")
+
+
+def test_{test_name}():
+    trace = FuzzTrace.load(TRACE_PATH)
+    outcome = run_trace(model_by_name("{model}"), trace, check_every=1)
+    assert outcome.ok, str(outcome)
+'''
+
+
+def emit_regression(spec: ModelSpec, trace: FuzzTrace, outcome: Outcome,
+                    out_dir) -> Tuple[Path, Path]:
+    """Write ``trace`` and its pytest stub under ``out_dir``.
+
+    Returns ``(npz_path, test_path)``. The stub imports only public
+    ``repro.verify`` API, so it can be dropped into ``tests/`` as-is.
+    """
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    stem = _safe(f"{spec.name}_{trace.name}")
+    npz_path = out_dir / f"{stem}.npz"
+    trace.save(npz_path)
+    test_path = out_dir / f"test_regression_{stem}.py"
+    test_path.write_text(REGRESSION_TEMPLATE.format(
+        model=spec.name, trace=trace.name,
+        error_type=outcome.error_type or "failure",
+        failing_step=outcome.failing_step, phase=outcome.phase,
+        error=outcome.error.replace("\\", "\\\\").replace('"', "'"),
+        npz_name=npz_path.name, test_name=_safe(stem)))
+    return npz_path, test_path

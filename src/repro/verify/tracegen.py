@@ -1,0 +1,233 @@
+"""Seeded adversarial trace generation for the differential fuzzer.
+
+Uniform random traces rarely reach the states where coherence protocols
+break; the generator therefore draws each trace from a small library of
+adversarial *patterns*, every one aimed at a mechanism the paper had to
+defend:
+
+* ``conflict-storm`` -- many tags hammering one or two LLC sets, forcing
+  replacement through spilled/fused entry frames (WB_DE pressure, the
+  spLRU/dataLRU ordering invariants).
+* ``fuse-spill-flap`` -- alternating single-writer and multi-reader
+  phases over a few blocks, driving FPSS through fuse -> spill ->
+  re-fuse cycles while the set is kept full.
+* ``migratory`` -- ownership handed core to core (write after write),
+  the classic downgrade/upgrade stress; across sockets this becomes the
+  corrupted-block forwarding flow.
+* ``socket-storm`` -- writes from even cores, reads from odd cores over
+  two hot blocks in one LLC set, with filler pressure from both sides.
+  On a two-socket model (cores interleave round-robin) this drives the
+  full corrupted-block lifecycle: cross-socket S sharing, socket-level
+  WB_DE, presence loss at the reader socket, and the re-read that must
+  be forwarded/DENF-NACKed (Figure 15).
+* ``mixed`` -- uniform noise over a working set a bit larger than the
+  micro LLC, as a control and to interleave the above.
+
+Traces are value-free: blocks are just numbers, data correctness comes
+from the shadow-memory version oracle. A trace round-trips through
+``.npz`` so any failure is replayable byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.common.config import SystemConfig
+from repro.workloads.trace import OP_BY_CODE, Op
+
+#: One access: (core index, op code, block number).
+Step = Tuple[int, int, int]
+
+PATTERNS = ("conflict-storm", "fuse-spill-flap", "migratory",
+            "socket-storm", "mixed")
+
+
+@dataclass(frozen=True)
+class FuzzTrace:
+    """A replayable access sequence shared by every model under test."""
+
+    name: str
+    n_cores: int
+    steps: Tuple[Step, ...]
+    pattern: str = ""
+    seed: int = -1
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def __repr__(self) -> str:
+        return (f"FuzzTrace({self.name!r}, steps={len(self.steps)}, "
+                f"pattern={self.pattern or '?'})")
+
+    def decoded(self) -> Iterator[Tuple[int, Op, int]]:
+        """Steps with the op code resolved to :class:`Op`."""
+        for core, code, block in self.steps:
+            yield core, OP_BY_CODE[code], block
+
+    def with_steps(self, steps: Sequence[Step],
+                   suffix: str = "min") -> "FuzzTrace":
+        """A copy carrying ``steps`` (used by the shrinker)."""
+        return FuzzTrace(f"{self.name}-{suffix}", self.n_cores,
+                         tuple(steps), self.pattern, self.seed)
+
+    # ------------------------------------------------------------------
+    # Persistence (mirrors Workload.save/load)
+    # ------------------------------------------------------------------
+    def save(self, path) -> None:
+        cores = np.array([s[0] for s in self.steps], dtype=np.int16)
+        ops = np.array([s[1] for s in self.steps], dtype=np.int8)
+        blocks = np.array([s[2] for s in self.steps], dtype=np.int64)
+        np.savez_compressed(
+            path, name=np.array(self.name), pattern=np.array(self.pattern),
+            n_cores=np.array(self.n_cores), seed=np.array(self.seed),
+            cores=cores, ops=ops, blocks=blocks)
+
+    @classmethod
+    def load(cls, path) -> "FuzzTrace":
+        with np.load(path) as data:
+            steps = tuple(zip((int(c) for c in data["cores"]),
+                              (int(o) for o in data["ops"]),
+                              (int(b) for b in data["blocks"])))
+            return cls(str(data["name"]), int(data["n_cores"]), steps,
+                       str(data["pattern"]), int(data["seed"]))
+
+
+@dataclass(frozen=True)
+class TraceGeometry:
+    """The LLC geometry the generator aims its conflicts at."""
+
+    n_cores: int
+    llc_banks: int
+    bank_sets: int
+    llc_ways: int
+
+    @classmethod
+    def of(cls, config: SystemConfig) -> "TraceGeometry":
+        return cls(config.n_cores, config.llc_banks,
+                   config.llc_bank_sets, config.llc.ways)
+
+    def block_at(self, bank: int, set_idx: int, tag: int) -> int:
+        """A block number mapping to (bank, set) with ``tag``."""
+        bank_bits = self.llc_banks.bit_length() - 1
+        set_bits = self.bank_sets.bit_length() - 1
+        return (tag << (bank_bits + set_bits)) | (set_idx << bank_bits) | bank
+
+
+class TraceGenerator:
+    """Draws adversarial traces; ``trace(i)`` is a pure function of
+    ``(seed, i)`` so campaigns are reproducible at any parallelism."""
+
+    def __init__(self, geometry: TraceGeometry, seed: int,
+                 steps_per_trace: int = 48) -> None:
+        self.geometry = geometry
+        self.seed = seed
+        self.steps_per_trace = steps_per_trace
+
+    def trace(self, index: int) -> FuzzTrace:
+        rng = random.Random((self.seed << 20) ^ index)
+        pattern = PATTERNS[index % len(PATTERNS)]
+        maker = getattr(self, "_" + pattern.replace("-", "_"))
+        steps = maker(rng)[:self.steps_per_trace]
+        return FuzzTrace(f"fuzz-s{self.seed}-t{index:04d}",
+                         self.geometry.n_cores, tuple(steps),
+                         pattern, self.seed)
+
+    # ------------------------------------------------------------------
+    def _rand_op(self, rng: random.Random, write_weight: int = 3) -> int:
+        # Reads dominate (fills + sharing); writes drive versions and
+        # upgrades; the occasional ifetch lands shared-only entries.
+        roll = rng.randrange(10)
+        if roll < write_weight:
+            return Op.WRITE.value
+        if roll < 9:
+            return Op.READ.value
+        return Op.IFETCH.value
+
+    def _conflict_storm(self, rng: random.Random) -> List[Step]:
+        geom = self.geometry
+        targets = [(rng.randrange(geom.llc_banks),
+                    rng.randrange(geom.bank_sets))
+                   for _ in range(rng.choice((1, 2)))]
+        tags = geom.llc_ways + 1 + rng.randrange(4)
+        steps: List[Step] = []
+        for _ in range(self.steps_per_trace):
+            bank, set_idx = rng.choice(targets)
+            block = geom.block_at(bank, set_idx, rng.randrange(tags))
+            steps.append((rng.randrange(geom.n_cores),
+                          self._rand_op(rng), block))
+        return steps
+
+    def _fuse_spill_flap(self, rng: random.Random) -> List[Step]:
+        geom = self.geometry
+        bank, set_idx = (rng.randrange(geom.llc_banks),
+                         rng.randrange(geom.bank_sets))
+        hot = [geom.block_at(bank, set_idx, tag) for tag in range(3)]
+        filler = [geom.block_at(bank, set_idx, 3 + tag)
+                  for tag in range(geom.llc_ways)]
+        steps: List[Step] = []
+        while len(steps) < self.steps_per_trace:
+            block = rng.choice(hot)
+            writer = rng.randrange(geom.n_cores)
+            steps.append((writer, Op.WRITE.value, block))   # -> fused M/E
+            for _ in range(rng.randrange(1, 3)):            # -> spilled S
+                steps.append((rng.randrange(geom.n_cores),
+                              Op.READ.value, block))
+            if rng.randrange(3) == 0:                       # set pressure
+                steps.append((rng.randrange(geom.n_cores),
+                              self._rand_op(rng, 1), rng.choice(filler)))
+        return steps
+
+    def _migratory(self, rng: random.Random) -> List[Step]:
+        geom = self.geometry
+        pool = [rng.randrange(4 * geom.llc_banks * geom.bank_sets)
+                for _ in range(4)]
+        steps: List[Step] = []
+        core = rng.randrange(geom.n_cores)
+        while len(steps) < self.steps_per_trace:
+            block = rng.choice(pool)
+            # Read-modify-write, then migrate to another core. Across a
+            # 2-socket model the core stride crosses the socket boundary
+            # every step, exercising the corrupted-block forward path.
+            if rng.randrange(2):
+                steps.append((core, Op.READ.value, block))
+            steps.append((core, Op.WRITE.value, block))
+            core = (core + 1 + rng.randrange(geom.n_cores - 1)) \
+                % geom.n_cores
+        return steps
+
+    def _socket_storm(self, rng: random.Random) -> List[Step]:
+        geom = self.geometry
+        bank, set_idx = (rng.randrange(geom.llc_banks),
+                         rng.randrange(geom.bank_sets))
+        hot = [geom.block_at(bank, set_idx, tag) for tag in range(2)]
+        filler = [geom.block_at(bank, set_idx, 2 + tag)
+                  for tag in range(2 * geom.llc_ways)]
+        # Even/odd trace cores land on different sockets of a two-socket
+        # model (map_core interleaves); on one socket they are just two
+        # core groups fighting over the same set.
+        even = [c for c in range(geom.n_cores) if c % 2 == 0]
+        odd = [c for c in range(geom.n_cores) if c % 2 == 1] or even
+        steps: List[Step] = []
+        while len(steps) < self.steps_per_trace:
+            block = rng.choice(hot)
+            steps.append((rng.choice(even), Op.WRITE.value, block))
+            steps.append((rng.choice(odd), Op.READ.value, block))
+            for _ in range(rng.randrange(2, 5)):     # WB_DE pressure
+                steps.append((rng.choice(even), Op.READ.value,
+                              rng.choice(filler)))
+            for _ in range(rng.randrange(2, 5)):     # reader-side flush
+                steps.append((rng.choice(odd), Op.READ.value,
+                              rng.choice(filler)))
+            steps.append((rng.choice(odd), Op.READ.value, block))
+        return steps
+
+    def _mixed(self, rng: random.Random) -> List[Step]:
+        geom = self.geometry
+        span = 2 * geom.llc_banks * geom.bank_sets * geom.llc_ways
+        return [(rng.randrange(geom.n_cores), self._rand_op(rng),
+                 rng.randrange(span))
+                for _ in range(self.steps_per_trace)]

@@ -111,3 +111,65 @@ class TestExhaustiveZeroDev:
         assert not report.ok
         assert len(report.counterexample.sequence) == 1
         assert "deliberate" in str(report.counterexample)
+
+
+class TestSampledReproducibility:
+    """explore_sampled must be a pure function of (seed, depth, samples)
+    -- the worker count must never change what is explored or found."""
+
+    def explorer(self, **kw):
+        return ExhaustiveExplorer(zerodev_micro, cores=(0, 1),
+                                  blocks=(0, 8, 16, 1),
+                                  extra_check=no_devs, **kw)
+
+    def test_same_seed_same_report_across_jobs(self):
+        serial = self.explorer().explore_sampled(depth=8, samples=120,
+                                                 seed=11, jobs=1)
+        pooled = self.explorer().explore_sampled(depth=8, samples=120,
+                                                 seed=11, jobs=2)
+        assert serial.sequences_explored == pooled.sequences_explored
+        assert serial.states_checked == pooled.states_checked
+        assert (serial.counterexample is None) == (
+            pooled.counterexample is None)
+
+    def test_different_seeds_draw_different_sequences(self):
+        import random
+        explorer = self.explorer()
+        draws = []
+        for seed in (1, 2):
+            rng = random.Random(seed)
+            draws.append(tuple(
+                tuple(rng.choice(explorer._alphabet) for _ in range(6))
+                for _ in range(10)))
+        assert draws[0] != draws[1]
+
+    def test_counterexample_is_lowest_failing_index_and_replays(self):
+        # A check that fails for any sequence touching block 8 makes
+        # several samples fail; every jobs value must report the *same*
+        # (first-drawn) counterexample, and replaying it must re-fail.
+        def no_block_8(system):
+            if system.cores[0].probe(8) is not None or \
+               system.cores[1].probe(8) is not None or \
+               system.bank_of(8).peek_data(8) is not None:
+                raise AssertionError("block 8 touched")
+
+        def make():
+            return ExhaustiveExplorer(zerodev_micro, cores=(0, 1),
+                                      blocks=(0, 8, 16, 1),
+                                      extra_check=no_block_8)
+
+        reports = [make().explore_sampled(depth=6, samples=80, seed=5,
+                                          jobs=jobs)
+                   for jobs in (1, 2)]
+        assert all(not r.ok for r in reports)
+        assert (reports[0].counterexample.sequence
+                == reports[1].counterexample.sequence)
+        assert (reports[0].sequences_explored
+                == reports[1].sequences_explored)
+        replayed = make().replay(reports[0].counterexample.sequence)
+        assert replayed is not None
+        assert "block 8 touched" in str(replayed.error)
+
+    def test_replay_of_passing_sequence_returns_none(self):
+        explorer = self.explorer()
+        assert explorer.replay(((0, Op.READ, 0), (1, Op.READ, 0))) is None

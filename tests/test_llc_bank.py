@@ -117,6 +117,42 @@ class TestFuseUnfuse:
 
 
 class TestSpLRU:
+    def test_insert_keeps_resident_spill_above_its_block(self):
+        # Regression: re-installing a block's data frame used to land at
+        # MRU *above* the block's resident spilled entry, inverting the
+        # spLRU order; replacement would then evict the live entry
+        # (WB_DE) while its block stayed resident -- case (iiib).
+        bank = make_bank(ways=3, replacement=LLCReplacement.SP_LRU)
+        bank.insert(spill(4))
+        bank.insert(data(8))
+        bank.insert(data(4))
+        frames = bank.frames_in_set(bank.set_of(4))
+        assert [(f.block, f.kind) for f in frames[-2:]] == [
+            (4, LineKind.DATA), (4, LineKind.SPILLED)]
+        assert bank.choose_victim(bank.set_of(4)).block == 8
+
+    def test_spill_insert_not_reordered(self):
+        # The reorder applies to data inserts only; a freshly spilled
+        # entry already lands at MRU, above its block.
+        bank = make_bank(ways=3, replacement=LLCReplacement.SP_LRU)
+        bank.insert(data(4))
+        bank.insert(spill(4))
+        frames = bank.frames_in_set(bank.set_of(4))
+        assert frames[-1].kind is LineKind.SPILLED
+
+    def test_promotion_with_spill_already_at_mru(self):
+        # Spilled entry at MRU, then a data access to the same block:
+        # the touch sequence (block first, entry second) must leave the
+        # entry above the block, not below it.
+        bank = make_bank(ways=3, replacement=LLCReplacement.SP_LRU)
+        bank.insert(data(4))
+        bank.insert(data(8))
+        bank.insert(spill(4))           # spill4 is MRU
+        bank.lookup_data(4)
+        frames = bank.frames_in_set(bank.set_of(4))
+        assert [(f.block, f.kind) for f in frames] == [
+            (8, LineKind.DATA), (4, LineKind.DATA), (4, LineKind.SPILLED)]
+
     def test_data_access_promotes_its_spill_above_it(self):
         bank = make_bank(ways=3, replacement=LLCReplacement.SP_LRU)
         bank.insert(spill(4))
@@ -193,3 +229,41 @@ class TestDataLRU:
     def test_choose_victim_empty_set_raises(self):
         with pytest.raises(SimulationError):
             make_bank().choose_victim(0)
+
+    def test_all_entries_set_falls_back_to_lru_entry(self):
+        # A set with no V=1 block (all spilled/fused frames) has no
+        # dataLRU candidate; the policy falls back to plain LRU over the
+        # entry frames -- the *oldest* entry is the WB_DE victim.
+        bank = make_bank(ways=3, replacement=LLCReplacement.DATA_LRU)
+        bank.insert(spill(4))
+        bank.insert(spill(8))
+        bank.insert(data(12))
+        bank.fuse(12, entry_for(12, DirState.ME, owner=0))
+        victim = bank.choose_victim(bank.set_of(4))
+        assert victim.kind is LineKind.SPILLED and victim.block == 4
+
+
+class TestEndToEndSpLRU:
+    """Protocol-level regression for the spLRU insert-ordering bug."""
+
+    def test_reinstalled_block_does_not_doom_its_own_entry(self):
+        from repro.common.config import DirCachingPolicy
+        from tests.conftest import OPS, zerodev_config
+        from repro.common.addressing import BLOCK_SHIFT
+        from repro.harness.system_builder import build_system
+
+        system = build_system(zerodev_config(
+            llc_replacement=LLCReplacement.SP_LRU,
+            dir_caching=DirCachingPolicy.FPSS))
+        # Spill block 0's entry (shared ifetch), re-install its data at
+        # MRU, then storm the same LLC set with fused fills. Before the
+        # fix the spilled entry sat *below* its block, got evicted to
+        # memory, and the case-(iiib) invariant fired on the next fill.
+        script = [(0, "I", 0), (1, "I", 0),
+                  (2, "R", 32), (2, "R", 64), (2, "R", 96),
+                  (3, "I", 0),
+                  (2, "R", 128), (2, "R", 160), (2, "R", 192)]
+        for core, op, block in script:
+            system.access(core, OPS[op], block << BLOCK_SHIFT)
+            system.check_invariants()
+        assert system.stats.dev_invalidations == 0

@@ -138,6 +138,68 @@ class TestZeroDevMultiSocketDesigns:
         self.soak(system, rounds=80)
 
 
+class TestCorruptedBitmapAccounting:
+    """WB_DE -> GET_DE flows must return corrupted-block counts to zero.
+
+    Regression: the socket-level heal/restore paths cleared only the
+    multi-level garbage set; the per-socket ``MemoryHousing`` bits stayed
+    set forever, so a socket's corrupted-bitmap count never returned to
+    zero once its home segment had housed an entry.
+    """
+
+    def zconfig(self, llc=CacheGeometry(2048, 2)):
+        return tiny_config(
+            protocol=Protocol.ZERODEV,
+            directory=DirectoryConfig(ratio=None),
+            llc_replacement=LLCReplacement.DATA_LRU,
+            dir_caching=DirCachingPolicy.FPSS,
+            llc=llc)
+
+    def test_dirty_writeback_heals_socket_bitmap(self):
+        system = MultiSocketSystem(self.zconfig(), n_sockets=2)
+        s0 = system.sockets[0]
+        # Blocks 0/16/32/48 all map to bank 0 set 0 (2 ways) of socket 0.
+        access(system, 0, 0, "W", 0)     # fused M entry for block 0
+        access(system, 0, 1, "R", 16)
+        access(system, 0, 2, "R", 32)    # WB_DE: block 0's entry housed
+        assert s0._housing.is_garbage(0) and system.is_garbage(0)
+        access(system, 0, 3, "R", 0)     # GET_DE promotes the entry back
+        assert s0._housing.peek(0) is None
+        assert s0._housing.is_garbage(0)   # image still corrupt
+        # Evicting the dirty LLC copy writes real data home: both the
+        # multi-level marker and the socket bit must clear, exactly once.
+        access(system, 0, 1, "R", 48)
+        assert not system.is_garbage(0)
+        assert not s0._housing.is_garbage(0)
+        system.check_invariants()
+
+    def test_last_copy_eviction_restores_and_clears_bitmaps(self):
+        import random
+        system = MultiSocketSystem(self.zconfig(CacheGeometry(1024, 2)),
+                                   n_sockets=2)
+        rng = random.Random(0)
+        ops = "RWI"
+        # Hot sharing phases over a small pool, then cold sweeps that
+        # evict every copy -- driving WB_DE housing, DENF_NACK forwards,
+        # and last-copy restores, with invariants checked per step.
+        for phase in range(8):
+            for _ in range(40):
+                access(system, rng.randrange(2), rng.randrange(4),
+                       ops[rng.randrange(3)], rng.randrange(12))
+                system.check_invariants()
+            for block in range(64, 128):
+                for socket in range(2):
+                    access(system, socket, rng.randrange(4), "R", block)
+                    system.check_invariants()
+        assert system.restores > 0
+        assert system.denf_nacks > 0
+        # No stale socket-local corruption bits: every remaining bit is
+        # backed by an actually-corrupted home image (no double count).
+        for socket in system.sockets:
+            for block in socket._housing.garbage_blocks():
+                assert system.is_garbage(block)
+
+
 class TestHomeDistribution:
     def test_blocks_map_to_all_homes(self):
         system = make(n_sockets=4)

@@ -1,7 +1,7 @@
 """Unit tests for the generic set-associative array."""
 
 import pytest
-from hypothesis import given, strategies as st
+from hypothesis import given, settings, strategies as st
 
 from repro.caches.block import L1Line
 from repro.caches.set_assoc import SetAssocCache
@@ -87,3 +87,107 @@ class TestCapacityProperty:
             assert len(cache) <= 16
             for set_idx in range(4):
                 assert len(cache.set_lines(set_idx)) <= 4
+
+
+#: One cache operation: (op name, block). Small block space over the
+#: 4-set geometry keeps every set under constant conflict pressure.
+operations = st.lists(
+    st.tuples(st.sampled_from(["insert", "lookup", "peek", "remove"]),
+              st.integers(min_value=0, max_value=31)),
+    min_size=1, max_size=250)
+
+PROP_SETTINGS = settings(max_examples=60, deadline=None, derandomize=True)
+
+
+class TestLRUModelEquivalence:
+    """Drive the O(1)-recency implementation and a brute-force reference
+    model (plain lists, linear scans) through identical operation
+    sequences; order, victims, and occupancy must match exactly."""
+
+    WAYS = 4
+
+    def _reference_apply(self, sets, op, block):
+        """The obviously-correct model: list per set, index 0 is LRU."""
+        lru = sets.setdefault(block % 4, [])
+        if op == "insert":
+            if block in lru:
+                return "dup"
+            victim = lru.pop(0) if len(lru) >= self.WAYS else None
+            lru.append(block)
+            return victim
+        if op in ("lookup", "peek"):
+            hit = block in lru
+            if hit and op == "lookup":
+                lru.remove(block)
+                lru.append(block)
+            return hit
+        if block in lru:                       # remove
+            lru.remove(block)
+            return True
+        return False
+
+    @given(operations)
+    @PROP_SETTINGS
+    def test_matches_reference_model(self, ops):
+        cache = make_cache(size=1024, ways=self.WAYS)  # 4 sets x 4 ways
+        sets = {}
+        for op, block in ops:
+            expected = self._reference_apply(sets, op, block)
+            if op == "insert":
+                if expected == "dup":
+                    with pytest.raises(SimulationError):
+                        cache.insert(L1Line(block))
+                    continue
+                victim = cache.insert(L1Line(block))
+                assert (victim.block if victim else None) == expected
+            elif op == "lookup":
+                assert (cache.lookup(block) is not None) is expected
+            elif op == "peek":
+                assert (cache.peek(block) is not None) is expected
+            else:
+                removed = cache.remove(block)
+                assert (removed is not None) is expected
+            for set_idx, lru in sets.items():
+                got = [line.block for line in cache.set_lines(set_idx)]
+                assert got == lru, (
+                    f"set {set_idx} LRU order diverged after "
+                    f"{op}({block})")
+
+    @given(operations)
+    @PROP_SETTINGS
+    def test_index_and_sets_stay_consistent(self, ops):
+        cache = make_cache(size=1024, ways=self.WAYS)
+        for op, block in ops:
+            try:
+                getattr(cache, op)(L1Line(block) if op == "insert"
+                                   else block)
+            except SimulationError:
+                pass                       # duplicate insert, rejected
+            placed = [line.block
+                      for set_idx in range(4)
+                      for line in cache.set_lines(set_idx)]
+            assert len(placed) == len(set(placed)) == len(cache)
+            for resident in placed:
+                line = cache.peek(resident)
+                assert line is not None and line.block == resident
+            for set_idx in range(4):
+                for line in cache.set_lines(set_idx):
+                    assert cache.set_of(line.block) == set_idx
+
+    @given(operations)
+    @PROP_SETTINGS
+    def test_peek_and_untouched_lookup_preserve_order(self, ops):
+        cache = make_cache(size=1024, ways=self.WAYS)
+        for op, block in ops:
+            if op == "insert":
+                if cache.peek(block) is None:
+                    cache.insert(L1Line(block))
+                continue
+            before = {idx: [line.block
+                            for line in cache.set_lines(idx)]
+                      for idx in range(4)}
+            cache.peek(block)
+            cache.lookup(block, touch=False)
+            after = {idx: [line.block for line in cache.set_lines(idx)]
+                     for idx in range(4)}
+            assert before == after

@@ -64,6 +64,74 @@ class TestFPSSPlacement:
         assert line is not None and line.kind is LineKind.DATA
 
 
+class TestFPSSDowngradeRefresh:
+    """Fuse -> spill on M/E -> S: the reconstructed LLC copy must carry
+    the owner's data, never the stale fused low-order bits.
+
+    The fused frame's version field still holds the fill-time value
+    (its low bits are the entry, per Section III-C2); when the owner
+    downgrades, ``_entry_state_changed`` unfuses the frame *before*
+    ``_install_llc_data`` overwrites it with the owner's version. These
+    tests pin that ordering: the copy that becomes readable is fresh.
+    """
+
+    def test_dirty_downgrade_installs_owner_version(self):
+        system = zdev()
+        drive(system, [(0, "W", 5)])      # M copy, fused entry
+        fused = system.bank_of(5).peek_data(5)
+        assert fused.kind is LineKind.FUSED
+        stale = fused.version             # fill-time version, pre-write
+        drive(system, [(1, "R", 5)])      # owner downgrade, fuse->spill
+        assert system.stats.fuse_to_spill == 1
+        line = system.bank_of(5).peek_data(5)
+        assert line.kind is LineKind.DATA
+        assert line.dirty
+        assert line.version == system.shadow.latest(5) != stale
+
+    def test_clean_downgrade_installs_owner_version(self):
+        system = zdev()
+        drive(system, [(0, "R", 5), (1, "R", 5)])   # E -> S downgrade
+        line = system.bank_of(5).peek_data(5)
+        assert line.kind is LineKind.DATA
+        assert line.version == system.shadow.latest(5)
+
+    def test_llc_serves_third_reader_after_downgrade(self):
+        # drive() re-checks every read against the shadow oracle: a read
+        # of the stale reconstructed copy would raise. The third reader
+        # must hit the refreshed LLC copy, not forward to a sharer.
+        system = zdev()
+        drive(system, [(0, "W", 5), (1, "R", 5)])
+        before = system.stats.llc_data_hits
+        drive(system, [(2, "R", 5)])
+        assert system.stats.llc_data_hits == before + 1
+
+    def test_repeated_fuse_spill_flapping_stays_coherent(self):
+        system = zdev()
+        # W promotes spill->fuse, the next core's R demotes fuse->spill;
+        # every transition rebuilds the frame, every read shadow-checked.
+        script = []
+        for round_ in range(6):
+            writer = round_ % 4
+            script.append((writer, "W", 5))
+            script.append(((writer + 1) % 4, "R", 5))
+        drive(system, script)
+        assert system.stats.fuse_to_spill >= 6
+        assert system.stats.spill_to_fuse >= 5
+        assert system.stats.dev_invalidations == 0
+        line = system.bank_of(5).peek_data(5)
+        assert line.version == system.shadow.latest(5)
+
+    def test_downgrade_under_splru_keeps_entry_above_block(self):
+        system = build_system(zerodev_config(
+            llc_replacement=LLCReplacement.SP_LRU))
+        drive(system, [(0, "W", 5), (1, "R", 5)])
+        bank = system.bank_of(5)
+        frames = bank.frames_in_set(bank.set_of(5))
+        kinds = [(f.block, f.kind) for f in frames]
+        assert kinds.index((5, LineKind.DATA)) < kinds.index(
+            (5, LineKind.SPILLED))
+
+
 class TestSpillAll:
     def test_every_entry_spills(self):
         system = zdev(DirCachingPolicy.SPILL_ALL)
