@@ -25,7 +25,8 @@ Commands
     Differential fuzzing: seeded adversarial traces through the whole
     model matrix with per-step invariant checking; failures are ddmin-
     shrunk to minimal reproducers. ``--inject`` turns the campaign into
-    a fault-injection soak.
+    a fault-injection soak; ``--resume JOURNAL`` checkpoints completed
+    runs and skips them when the campaign is re-executed.
 ``shrink TRACE.npz``
     Re-shrink a saved fuzz trace against one model and emit the
     reduced ``.npz`` + pytest regression stub.
@@ -166,20 +167,34 @@ def _command_verify(args) -> int:
     return 1
 
 
+#: A campaign whose completed runs are all clean but which is missing
+#: results (worker crash / timeout after retries): resumable, not failed.
+EXIT_PARTIAL = 3
+
+
 def _command_fuzz(args) -> int:
     """Differential fuzzing / fault injection (see PROTOCOL.md §7)."""
+    from repro.harness.campaign import CampaignPolicy
     from repro.verify import run_campaign
     from repro.verify.faults import FaultKind, FaultPlan
 
     fault = None
     if args.inject:
         fault = FaultPlan(FaultKind(args.inject), at=args.at)
+    policy = None
+    if args.run_timeout is not None or args.retries is not None:
+        policy = CampaignPolicy(
+            retries=1 if args.retries is None else args.retries,
+            run_timeout=args.run_timeout)
     report = run_campaign(
         seed=args.seed, budget=args.budget, jobs=args.jobs or 1,
         check_every=args.check_every, fault=fault,
-        shrink=not args.no_shrink, out_dir=args.out)
+        shrink=not args.no_shrink, out_dir=args.out,
+        policy=policy, resume=args.resume)
     print(report.summary())
-    return 0 if report.ok else 1
+    if report.ok:
+        return 0
+    return EXIT_PARTIAL if report.partial else 1
 
 
 def _command_shrink(args) -> int:
@@ -352,6 +367,18 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--out", default=None,
                       help="directory for minimal-reproducer .npz + "
                            "pytest regression stubs")
+    fuzz.add_argument("--resume", default=None, metavar="JOURNAL",
+                      help="campaign journal (created if missing): "
+                           "completed runs are committed there and "
+                           "skipped on re-execution")
+    fuzz.add_argument("--run-timeout", type=float, default=None,
+                      metavar="SECONDS",
+                      help="per-run deadline; a wedged run becomes a "
+                           "typed failure instead of hanging the batch")
+    fuzz.add_argument("--retries", type=int, default=None,
+                      help="re-executions for transient failures "
+                           "(default 1; exit code 3 = partial results, "
+                           "resume to finish)")
 
     shrink = commands.add_parser(
         "shrink", help="reduce a saved fuzz trace to a minimal repro")

@@ -25,6 +25,10 @@ Scaling knobs (environment variables):
 ``REPRO_SCALE``     capacity scale divisor (default 16; 1 = paper-sized)
 ``REPRO_JOBS``      worker processes for independent runs (default 1)
 ``REPRO_CACHE_DIR`` persist run results on disk across sessions
+``REPRO_RUN_TIMEOUT`` per-run deadline in seconds; routes figure batches
+                    through the fault-tolerant campaign layer
+``REPRO_RETRIES``   retry budget for transient failures (worker death,
+                    OSError); also enables the campaign layer
 """
 
 from __future__ import annotations
@@ -39,6 +43,7 @@ from repro.common.config import (DirCachingPolicy, DirectoryConfig,
                                  SystemConfig, CacheGeometry,
                                  scaled_socket)
 from repro.common.stats import weighted_speedup
+from repro.harness.campaign import policy_from_env, run_specs
 from repro.harness.energy import estimate_energy
 from repro.harness.parallel import (run_many, telemetry_since,
                                     telemetry_snapshot)
@@ -97,6 +102,11 @@ def _instrumented(fn):
             "accesses_per_second": (
                 int(delta["accesses"] / run_wall) if run_wall else 0),
             "jobs": jobs(),
+            "effective_jobs": int(
+                telemetry_snapshot()["effective_jobs"]),
+            "cache_dropped_puts": int(delta["cache_dropped_puts"]),
+            "run_retries": int(delta["run_retries"]),
+            "run_failures": int(delta["run_failures"]),
         })
         return table, results
     return wrapper
@@ -145,8 +155,18 @@ def run_config(config: SystemConfig, workload: Workload) -> RunResult:
 
 def run_configs(pairs) -> List[RunResult]:
     """Run a batch of (config, workload) pairs under the figure-level
-    parallelism/cache policy; results in request order."""
-    return run_many(pairs, jobs=jobs())
+    parallelism/cache policy; results in request order.
+
+    With ``REPRO_RUN_TIMEOUT`` / ``REPRO_RETRIES`` set, the batch runs
+    under the fault-tolerant campaign layer: crashed or wedged runs are
+    retried per the policy, completed runs stay in the session cache,
+    and only then does an unrecoverable failure raise (so a re-run
+    resumes from the cache instead of starting over).
+    """
+    policy = policy_from_env()
+    if policy is None:
+        return run_many(pairs, jobs=jobs())
+    return run_specs(pairs, jobs=jobs(), policy=policy).require_complete()
 
 
 def speedup_of(base: RunResult, new: RunResult, suite: str) -> float:

@@ -26,6 +26,7 @@ import hashlib
 import os
 import pickle
 import tempfile
+import warnings
 from dataclasses import fields, is_dataclass
 from pathlib import Path
 from typing import Dict, Optional
@@ -73,6 +74,11 @@ class ResultCache:
         self.directory = Path(directory) if directory else None
         self.hits = 0
         self.misses = 0
+        #: Disk publishes dropped by OSError (disk full, permissions).
+        #: The in-memory tier still memoizes; a nonzero count means the
+        #: campaign is running without cross-session persistence.
+        self.dropped_puts = 0
+        self._warned_dropped = False
 
     def __len__(self) -> int:
         return len(self._memo)
@@ -112,24 +118,41 @@ class ResultCache:
         detached = result.detached()
         self._memo[key] = detached
         if self.directory is not None:
-            self.directory.mkdir(parents=True, exist_ok=True)
-            # Atomic publish: never expose a half-written pickle.
-            fd, temp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+            temp = None
             try:
+                self.directory.mkdir(parents=True, exist_ok=True)
+                # Atomic publish: never expose a half-written pickle.
+                fd, temp = tempfile.mkstemp(dir=self.directory,
+                                            suffix=".tmp")
                 with os.fdopen(fd, "wb") as handle:
                     pickle.dump(detached, handle,
                                 protocol=pickle.HIGHEST_PROTOCOL)
                 os.replace(temp, self._path(key))
-            except OSError:
-                try:
-                    os.unlink(temp)
-                except OSError:
-                    pass
+            except OSError as exc:
+                if temp is not None:
+                    try:
+                        os.unlink(temp)
+                    except OSError:
+                        pass
+                # A full disk must not kill the campaign, but it must
+                # not be silent either: without disk publishes every
+                # future session re-simulates from scratch.
+                self.dropped_puts += 1
+                if not self._warned_dropped:
+                    self._warned_dropped = True
+                    warnings.warn(
+                        f"result cache cannot write to "
+                        f"{self.directory}: {exc!r}; disk memoization "
+                        f"is disabled for the affected entries "
+                        f"(further drops counted in dropped_puts)",
+                        RuntimeWarning, stacklevel=2)
 
     def clear(self) -> None:
         self._memo.clear()
         self.hits = 0
         self.misses = 0
+        self.dropped_puts = 0
+        self._warned_dropped = False
 
 
 _session: Optional[ResultCache] = None

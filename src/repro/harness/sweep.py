@@ -11,6 +11,14 @@ parallelizes across points and workloads and shares baseline runs with
 any other harness user via the session result cache. Baselines are
 retained as cycle summaries only -- never as live systems -- so long
 sweeps do not accumulate simulator state.
+
+Long sweeps can run fault-tolerantly: ``run(..., resume=path)`` journals
+every completed run through :mod:`repro.harness.campaign` and skips
+journaled runs on re-execution (bit-identical points to an
+uninterrupted sweep), while ``policy=`` adds per-run timeouts and
+retries. A sweep that still has failed runs after retries raises
+:class:`~repro.harness.campaign.CampaignError` naming the journal to
+resume from.
 """
 
 from __future__ import annotations
@@ -20,6 +28,8 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.common.config import SystemConfig
 from repro.common.stats import SystemStats, weighted_speedup
+from repro.harness.campaign import (CampaignJournal, CampaignPolicy,
+                                    run_specs)
 from repro.harness.parallel import run_many
 from repro.harness.reporting import geomean
 from repro.harness.system_builder import build_system  # noqa: F401  (API)
@@ -84,13 +94,22 @@ class Sweep:
         self._jobs = jobs
         self._baselines: Dict[str, BaselineSummary] = {}
 
-    def _ensure_baselines(self,
-                          workloads: Sequence[Workload]) -> None:
+    def _run_batch(self, specs, policy, journal) -> List:
+        if policy is None and journal is None:
+            return run_many(specs, jobs=self._jobs)
+        campaign = run_specs(specs, jobs=self._jobs, policy=policy,
+                             journal=journal)
+        return campaign.require_complete()
+
+    def _ensure_baselines(self, workloads: Sequence[Workload],
+                          policy: Optional[CampaignPolicy] = None,
+                          journal: Optional[CampaignJournal] = None
+                          ) -> None:
         missing = [w for w in workloads if w.name not in self._baselines]
         if not missing:
             return
-        runs = run_many([(self._reference, w) for w in missing],
-                        jobs=self._jobs)
+        runs = self._run_batch([(self._reference, w) for w in missing],
+                               policy, journal)
         for workload, run in zip(missing, runs):
             self._baselines[workload.name] = BaselineSummary(
                 run.cycles, tuple(run.per_core_cycles))
@@ -103,12 +122,28 @@ class Sweep:
                 if stats.total_cycles else 1.0)
 
     def run(self, values: Sequence[object],
-            workloads: Sequence[Workload]) -> List[SweepPoint]:
-        self._ensure_baselines(workloads)
-        configs = [self._config_for(value) for value in values]
-        runs = run_many([(config, workload)
-                         for config in configs
-                         for workload in workloads], jobs=self._jobs)
+            workloads: Sequence[Workload],
+            resume: Optional[object] = None,
+            policy: Optional[CampaignPolicy] = None) -> List[SweepPoint]:
+        """Collect one :class:`SweepPoint` per value.
+
+        ``resume`` names a campaign journal (created if missing):
+        completed runs are committed there and skipped when the sweep is
+        re-executed after an interruption, with final points
+        bit-identical to an uninterrupted sweep. ``policy`` adds per-run
+        timeouts / retries (see :class:`CampaignPolicy`).
+        """
+        journal = None if resume is None else CampaignJournal(resume)
+        try:
+            self._ensure_baselines(workloads, policy, journal)
+            configs = [self._config_for(value) for value in values]
+            runs = self._run_batch([(config, workload)
+                                    for config in configs
+                                    for workload in workloads],
+                                   policy, journal)
+        finally:
+            if journal is not None:
+                journal.close()
         points = []
         cursor = iter(runs)
         for value in values:

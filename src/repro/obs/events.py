@@ -51,6 +51,15 @@ class EventKind(enum.Enum):
     # LLC.
     LLC_EVICT = "llc_evict"        # replacement victim (cause = frame kind)
 
+    # Campaign harness (repro.harness.campaign): these are emitted by
+    # the fault-tolerant execution layer, not the simulator, with
+    # ``step`` carrying the run index within the campaign. ``repro
+    # report`` renders them as the campaign-health section.
+    RUN_RETRY = "run_retry"        # transient failure re-queued (cause)
+    RUN_TIMEOUT = "run_timeout"    # per-run deadline fired
+    WORKER_DEATH = "worker_death"  # worker died before delivering
+    RESUME_SKIP = "resume_skip"    # journaled run replayed, not re-run
+
 
 #: ``cause`` tags carried by PRIV_INV events.  ``DEV`` marks the paper's
 #: directory-eviction victims; the rest are the legitimate coherence and

@@ -65,7 +65,28 @@ def summarize(path) -> dict:
         "inv_causes": dict(inv_causes),
         "messages": dict(messages),
         "dev_invalidations": inv_causes.get(InvCause.DEV, 0),
+        "campaign": campaign_health(kinds),
     }
+
+
+#: Journal/event kinds the fault-tolerant campaign layer emits
+#: (``repro.harness.campaign``); ``run_ok`` / ``run_failure`` are
+#: journal-only records, the rest are :class:`EventKind` members.
+_CAMPAIGN_KINDS = (
+    ("run_ok", "committed runs"),
+    ("run_failure", "failed runs"),
+    (EventKind.RUN_RETRY.value, "retries"),
+    (EventKind.RUN_TIMEOUT.value, "timeouts"),
+    (EventKind.WORKER_DEATH.value, "worker deaths"),
+    (EventKind.RESUME_SKIP.value, "resume skips"),
+)
+
+
+def campaign_health(kinds) -> Optional[dict]:
+    """Campaign-layer counters, or ``None`` for a pure simulator trace."""
+    if not any(kind in kinds for kind, _label in _CAMPAIGN_KINDS):
+        return None
+    return {kind: kinds.get(kind, 0) for kind, _label in _CAMPAIGN_KINDS}
 
 
 def _bars(counter_items, width: int = 40) -> List[str]:
@@ -110,10 +131,21 @@ def render_report(path, timeseries: Optional[Path] = None) -> str:
         lines.append(f"  {described}")
     lines.append(f"  {summary['total_events']:,} events over "
                  f"{summary['last_step']:,} accesses")
-    devs = summary["dev_invalidations"]
-    verdict = ("ZERO directory-eviction victims" if devs == 0 else
-               f"{devs:,} DEV-caused private-cache invalidations")
-    lines.append(f"  verdict: {verdict}")
+    campaign = summary["campaign"]
+    if campaign is None:
+        devs = summary["dev_invalidations"]
+        verdict = ("ZERO directory-eviction victims" if devs == 0 else
+                   f"{devs:,} DEV-caused private-cache invalidations")
+        lines.append(f"  verdict: {verdict}")
+    else:
+        failed = campaign["run_failure"]
+        verdict = ("campaign healthy (all runs committed)" if not failed
+                   else f"{failed} unresolved run failure(s)")
+        lines.append(f"  verdict: {verdict}")
+        lines.append("")
+        lines.append("campaign health:")
+        for kind, label in _CAMPAIGN_KINDS:
+            lines.append(f"  {label:<14} {campaign[kind]:>8,}")
     lines.append("")
     lines.append("event totals:")
     lines.extend(_bars(summary["kinds"].items()))

@@ -20,6 +20,16 @@ coverage failure, not a pass.
 
 Failing runs are ddmin-shrunk to minimal reproducers, optionally
 emitted as replayable ``.npz`` + pytest regressions.
+
+Campaigns are *fault tolerant at the harness level* too: every
+(trace, model) run executes under
+:func:`repro.harness.campaign.campaign_map`, so a crashed or wedged
+worker turns into a recorded harness failure (after retries) instead of
+aborting the matrix -- every other run's outcome is kept, and the report
+says exactly which runs are missing. With ``resume=<journal>`` each
+completed run is committed to an append-only journal and a re-invoked
+campaign (``repro fuzz --resume``) skips the committed runs, producing
+the identical report an uninterrupted campaign would have produced.
 """
 
 from __future__ import annotations
@@ -27,7 +37,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
-from repro.harness.parallel import parallel_map
+from repro.harness.campaign import (CampaignJournal, CampaignPolicy,
+                                    RunSuccess, campaign_map)
 from repro.verify.faults import DETECTABLE, FaultPlan, arm_fault
 from repro.verify.models import ModelSpec, micro_config, model_matrix
 from repro.verify.oracle import Outcome, run_trace
@@ -74,21 +85,47 @@ class FuzzReport:
     fault_fired_runs: int = 0
     fault_detected_runs: int = 0
     fault_missed: List[Outcome] = field(default_factory=list)
+    harness_failures: List[str] = field(default_factory=list)
+    resumed_runs: int = 0
+    retried_runs: int = 0
+    journal_path: Optional[str] = None
 
     @property
-    def ok(self) -> bool:
+    def clean(self) -> bool:
+        """No divergences in the runs that *did* complete."""
         if self.fault is not None:
             # An injection campaign succeeds when the fault fired
             # somewhere and every firing was handled per its contract.
             return bool(self.fault_fired_runs) and not self.fault_missed
         return not self.divergences and not self.digest_mismatches
 
+    @property
+    def partial(self) -> bool:
+        """Verdict clean so far, but some runs never produced a result
+        (worker crash / timeout after retries) -- resume to finish."""
+        return self.clean and bool(self.harness_failures)
+
+    @property
+    def ok(self) -> bool:
+        return self.clean and not self.harness_failures
+
     def summary(self) -> str:
         lines = [f"fuzz seed={self.seed} budget={self.budget}: "
                  f"{self.traces_run} traces x {len(self.models)} models, "
                  f"{self.runs} runs"]
+        if self.resumed_runs or self.retried_runs:
+            lines.append(f"  campaign: {self.resumed_runs} runs resumed "
+                         f"from journal, {self.retried_runs} retried")
+        for failure in self.harness_failures:
+            lines.append(f"  HARNESS FAILURE: {failure}")
+        if self.partial:
+            hint = (f" --resume {self.journal_path}" if self.journal_path
+                    else "")
+            lines.append("  PARTIAL: no divergences in completed runs, "
+                         f"but {len(self.harness_failures)} run(s) "
+                         f"missing; re-run{hint} to finish")
         if self.fault is not None:
-            verdict = "ok" if self.ok else "FAILED"
+            verdict = "ok" if self.clean else "FAILED"
             lines.append(
                 f"  injected {self.fault}: fired in "
                 f"{self.fault_fired_runs} runs, detected in "
@@ -102,6 +139,10 @@ class FuzzReport:
         if self.ok and self.fault is None:
             lines.append("  no divergences")
         return "\n".join(lines)
+
+    @property
+    def missing_runs(self) -> int:
+        return len(self.harness_failures)
 
 
 def _models_for(fault: Optional[FaultPlan],
@@ -126,10 +167,9 @@ _ACTIVE_JOBS: List[Tuple[ModelSpec, FuzzTrace, int,
                          Optional[FaultPlan]]] = []
 
 
-def _run_job(index: int) -> Tuple[Outcome, int]:
+def _run_job(index: int) -> Outcome:
     spec, trace, check_every, fault = _ACTIVE_JOBS[index]
-    outcome = run_trace(spec, trace, check_every=check_every, fault=fault)
-    return outcome, index
+    return run_trace(spec, trace, check_every=check_every, fault=fault)
 
 
 def run_campaign(seed: int, budget: int,
@@ -138,12 +178,18 @@ def run_campaign(seed: int, budget: int,
                  steps_per_trace: int = 48,
                  fault: Optional[FaultPlan] = None,
                  shrink: bool = True,
-                 out_dir=None) -> FuzzReport:
+                 out_dir=None,
+                 policy: Optional[CampaignPolicy] = None,
+                 resume=None) -> FuzzReport:
     """Run a ``budget``-trace differential campaign.
 
     Reproducible: all traces are generated from ``seed`` up front and
     outcomes are folded in a fixed order, so the report is identical for
-    every ``jobs`` value.
+    every ``jobs`` value. ``resume`` names a campaign journal: completed
+    (trace, model) runs are committed there and skipped (payload
+    replayed) when the campaign is re-executed after an interruption.
+    ``policy`` sets per-run timeout/retry behaviour; the default retries
+    transient worker deaths once and never hangs the batch on one run.
     """
     specs = _models_for(fault, models)
     geometry = TraceGeometry.of(micro_config())
@@ -153,35 +199,58 @@ def run_campaign(seed: int, budget: int,
     report = FuzzReport(seed, budget,
                         tuple(spec.name for spec in specs),
                         fault=None if fault is None else fault.kind.value)
+    policy = policy or CampaignPolicy(retries=1)
+    journal = None if resume is None else CampaignJournal(resume)
+    if journal is not None:
+        report.journal_path = str(journal.path)
+        journal.ensure_meta(
+            campaign="fuzz", seed=seed, check_every=check_every,
+            steps_per_trace=steps_per_trace,
+            fault=None if fault is None else fault.kind.value,
+            models=[spec.name for spec in specs])
 
     global _ACTIVE_JOBS
     _ACTIVE_JOBS = [(spec, trace, check_every, fault)
                     for trace in traces for spec in specs]
+    keys = [f"t{trace_index:04d}:{spec.name}"
+            for trace_index in range(len(traces)) for spec in specs]
     try:
-        outcomes = parallel_map(_run_job, range(len(_ACTIVE_JOBS)),
-                                jobs=jobs, chunksize=4, require_fork=True)
+        outcomes = campaign_map(_run_job, range(len(_ACTIVE_JOBS)),
+                                keys=keys, jobs=jobs, policy=policy,
+                                journal=journal, require_fork=True)
     finally:
-        job_list, _ACTIVE_JOBS = _ACTIVE_JOBS, []
+        _ACTIVE_JOBS = []
+        if journal is not None:
+            journal.close()
 
-    report.runs = len(outcomes)
     report.traces_run = len(traces)
-    per_trace: List[List[Outcome]] = [[] for _ in traces]
-    for outcome, index in outcomes:
-        per_trace[index // len(specs)].append(outcome)
+    per_trace: List[List[Optional[Outcome]]] = [
+        [None] * len(specs) for _ in traces]
+    for position, run in enumerate(outcomes):
+        trace_index, spec_index = divmod(position, len(specs))
+        if isinstance(run, RunSuccess):
+            per_trace[trace_index][spec_index] = run.value
+            report.runs += 1
+            report.resumed_runs += int(run.resumed)
+            report.retried_runs += max(0, run.attempts - 1)
+        else:
+            report.harness_failures.append(str(run))
+            report.retried_runs += max(0, run.attempts - 1)
 
     for trace, trace_outcomes in zip(traces, per_trace):
         if fault is not None:
             _classify_injection(report, specs, trace, trace_outcomes,
                                 fault)
             continue
-        for outcome in trace_outcomes:
+        completed = [o for o in trace_outcomes if o is not None]
+        for outcome in completed:
             if not outcome.ok:
                 report.divergences.append(Divergence(outcome, trace))
-        digests = {o.memory_digest for o in trace_outcomes if o.ok}
+        digests = {o.memory_digest for o in completed if o.ok}
         if len(digests) > 1:
             detail = ", ".join(
                 f"{o.model}={len(o.memory_digest)} blocks"
-                for o in trace_outcomes if o.ok)
+                for o in completed if o.ok)
             report.digest_mismatches.append(
                 f"{trace.name}: final-memory digests disagree ({detail})")
 
@@ -195,6 +264,8 @@ def _classify_injection(report: FuzzReport, specs: Sequence[ModelSpec],
                         fault: FaultPlan) -> None:
     """Check every run of one trace against the fault's contract."""
     for spec, outcome in zip(specs, outcomes):
+        if outcome is None:             # harness failure, already recorded
+            continue
         fired = _fault_fires(spec, trace, fault)
         if not fired:
             if not outcome.ok:

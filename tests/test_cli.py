@@ -87,3 +87,22 @@ class TestCli:
         assert main(["report"]) == 0
         out = capsys.readouterr().out
         assert "EXPERIMENTS.md" in out
+
+    def test_fuzz_parser_accepts_campaign_flags(self):
+        args = build_parser().parse_args(
+            ["fuzz", "--resume", "j.jsonl", "--run-timeout", "2.5",
+             "--retries", "3"])
+        assert args.resume == "j.jsonl"
+        assert args.run_timeout == 2.5
+        assert args.retries == 3
+
+    def test_fuzz_resume_round_trip(self, capsys, tmp_path):
+        journal = tmp_path / "fuzz.jsonl"
+        argv = ["fuzz", "--seed", "5", "--budget", "2", "--no-shrink",
+                "--resume", str(journal)]
+        assert main(argv) == 0
+        assert main(argv) == 0                 # replay, nothing re-run
+        out = capsys.readouterr().out
+        assert "runs resumed from journal" in out
+        assert main(["report", str(journal)]) == 0
+        assert "campaign healthy" in capsys.readouterr().out

@@ -17,6 +17,7 @@ from __future__ import annotations
 import pytest
 
 from repro.common.errors import ConfigError
+from repro.harness.campaign import CampaignPolicy
 from repro.verify import (FuzzTrace, TraceGenerator, emit_regression,
                           model_by_name, model_matrix, run_campaign,
                           run_trace, shrink_trace)
@@ -111,6 +112,56 @@ class TestCampaign:
         # commit the identical version map.
         report = run_campaign(seed=2, budget=4, jobs=1, shrink=False)
         assert not report.digest_mismatches
+
+    def test_resumed_campaign_matches_uninterrupted(self, tmp_path):
+        journal = tmp_path / "fuzz.jsonl"
+        uninterrupted = run_campaign(seed=11, budget=3, jobs=1,
+                                     shrink=False)
+        first = run_campaign(seed=11, budget=3, jobs=1, shrink=False,
+                             resume=journal)
+        resumed = run_campaign(seed=11, budget=3, jobs=1, shrink=False,
+                               resume=journal)
+        assert first.ok and resumed.ok
+        assert resumed.resumed_runs == resumed.runs   # nothing re-run
+        for report in (first, resumed):
+            assert report.runs == uninterrupted.runs
+            assert len(report.divergences) \
+                == len(uninterrupted.divergences)
+            assert report.digest_mismatches \
+                == uninterrupted.digest_mismatches
+        assert journal.exists()
+        assert (tmp_path / "fuzz.jsonl.checkpoint.json").exists()
+
+    def test_resume_rejects_different_campaign(self, tmp_path):
+        journal = tmp_path / "fuzz.jsonl"
+        run_campaign(seed=11, budget=2, jobs=1, shrink=False,
+                     resume=journal)
+        with pytest.raises(ConfigError, match="different campaign"):
+            run_campaign(seed=12, budget=2, jobs=1, shrink=False,
+                         resume=journal)
+
+    def test_harness_failure_is_partial_not_divergence(self, monkeypatch):
+        import repro.verify.differential as differential
+
+        real = differential.run_trace
+        matrix = model_matrix()
+
+        def flaky(spec, trace, **kwargs):
+            if spec.name == matrix[0].name:
+                raise OSError("worker lost")
+            return real(spec, trace, **kwargs)
+
+        monkeypatch.setattr(differential, "run_trace", flaky)
+        report = run_campaign(
+            seed=7, budget=2, jobs=1, shrink=False,
+            policy=CampaignPolicy(retries=0))
+        assert not report.ok
+        assert report.partial                 # clean but incomplete
+        assert not report.divergences
+        assert len(report.harness_failures) == 2   # one per trace
+        assert report.runs == 2 * (len(matrix) - 1)
+        assert "HARNESS FAILURE" in report.summary()
+        assert "PARTIAL" in report.summary()
 
 
 class TestFaultInjection:
