@@ -1,0 +1,276 @@
+"""Batched-kernel benchmark: scalar vs batched on fig19-21 workloads.
+
+Two measurements, both appended to ``results/BENCH_kernel.json`` (a
+trajectory file, one entry per recorded run):
+
+* **End-to-end**: each (config, workload) pair from the figure-19/20/21
+  regime -- baseline 1x and ZeroDEV-NoDir over PARSEC / FFTW /
+  CPU2017-rate representatives -- is run under both kernels,
+  interleaved and best-of-N (the container's wall clock is noisy), with
+  the final stats asserted bit-identical and the ZeroDEV zero-DEV
+  verdict asserted unchanged. Miss- and share-heavy applications sit
+  near 1.0x by design: the adaptive driver degrades to the scalar
+  schedule when bulk runs are too short to pay for themselves (see
+  repro/kernel/batched.py).
+
+* **Hot path**: the retirement path itself -- classification scan plus
+  ``SlotKernel.retire_run`` -- against the scalar ``CMPSystem.access``
+  walk, over the same known-safe access stream on identically warmed
+  systems, with identical resulting stats. This is the speedup the
+  batched kernel delivers per safe hit, the regime the adaptive driver
+  selects bulk mode for; the acceptance floor (>= 2.5x) is asserted on
+  this number.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from time import perf_counter
+
+import numpy as np
+
+from repro.caches.block import MESI
+from repro.common.addressing import BLOCK_SHIFT
+from repro.common.config import (CacheGeometry, DirectoryConfig,
+                                 LLCReplacement, Protocol, SystemConfig)
+from repro.common.ioutil import atomic_write_text
+from repro.harness.runner import run_workload
+from repro.harness.system_builder import build_system
+from repro.kernel import SlotKernel
+from repro.workloads import make_multithreaded
+from repro.workloads.suites import find_profile, make_rate_workload
+from repro.workloads.trace import Op
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "results" / \
+    "BENCH_kernel.json"
+MAX_HISTORY = 50
+HOT_PATH_FLOOR = 2.5
+
+#: (label, profile, builder) -- one representative per fig19-21 regime.
+WORKLOADS = (
+    ("parsec/blackscholes", "blackscholes", make_multithreaded),
+    ("fftw/fftw", "fftw", make_multithreaded),
+    ("cpu2017/xalancbmk", "xalancbmk", make_rate_workload),
+)
+
+
+def _bench_config(**overrides) -> SystemConfig:
+    base = dict(
+        n_cores=8,
+        l1i=CacheGeometry(2048, 2), l1d=CacheGeometry(2048, 2),
+        l2=CacheGeometry(8192, 4), llc=CacheGeometry(65536, 8),
+        llc_banks=4,
+    )
+    base.update(overrides)
+    return SystemConfig(**base)
+
+
+def _zerodev_config() -> SystemConfig:
+    return _bench_config(
+        protocol=Protocol.ZERODEV, directory=DirectoryConfig(ratio=None),
+        llc_replacement=LLCReplacement.DATA_LRU)
+
+
+def _snapshot(system):
+    import copy
+    return (copy.deepcopy(vars(system.stats)),
+            dict(system.shadow._latest))        # noqa: SLF001
+
+
+def _end_to_end(accesses: int, rounds: int) -> list:
+    """Interleaved best-of-N scalar-vs-batched over the workload set."""
+    rows = []
+    for config_label, config in (("baseline-1x", _bench_config()),
+                                 ("zerodev-nodir", _zerodev_config())):
+        for label, app, builder in WORKLOADS:
+            workload = builder(find_profile(app), config, accesses,
+                               seed=7)
+            best = {}
+            finals = {}
+            for _ in range(rounds):
+                for kernel in ("scalar", "batched"):
+                    system = build_system(config.with_(kernel=kernel))
+                    started = perf_counter()
+                    run_workload(system, workload)
+                    elapsed = perf_counter() - started
+                    best[kernel] = min(best.get(kernel, elapsed),
+                                       elapsed)
+                    finals[kernel] = _snapshot(system)
+            stats_s, shadow_s = finals["scalar"]
+            stats_b, shadow_b = finals["batched"]
+            assert stats_s == stats_b, (
+                f"{config_label}/{label}: kernels diverged on "
+                f"{[k for k in stats_s if stats_s[k] != stats_b[k]]}")
+            assert shadow_s == shadow_b, (
+                f"{config_label}/{label}: shadow memories diverged")
+            if config.protocol is Protocol.ZERODEV:
+                assert stats_s["dev_invalidations"] == 0, (
+                    f"{config_label}/{label}: zero-DEV verdict changed")
+            rows.append({
+                "config": config_label,
+                "workload": label,
+                "accesses": workload.total_accesses,
+                "scalar_seconds": round(best["scalar"], 4),
+                "batched_seconds": round(best["batched"], 4),
+                "speedup": round(best["scalar"] / best["batched"], 3),
+            })
+    return rows
+
+
+def _safe_streams(system, length: int):
+    """Per-core (ops, addresses) streams of guaranteed safe hits.
+
+    Reads of any L2-resident block and writes to M/E-resident blocks
+    stay safe indefinitely: reads never evict from the L2 (they only
+    touch recency and fill L1s) and safe writes only perform the silent
+    E->M transition.
+    """
+    streams = []
+    for hier in system.cores:
+        readable, writable = [], []
+        for block in hier.cached_blocks():
+            readable.append(block)
+            if hier.probe(block) in (MESI.M, MESI.E):
+                writable.append(block)
+        assert readable, "warm-up left a core with an empty L2"
+        ops, addresses = [], []
+        for i in range(length):
+            if writable and i % 4 == 3:
+                ops.append(Op.WRITE.value)
+                addresses.append(writable[i % len(writable)]
+                                 << BLOCK_SHIFT)
+            else:
+                ops.append(Op.READ.value)
+                addresses.append(readable[i % len(readable)]
+                                 << BLOCK_SHIFT)
+        streams.append((np.array(ops, dtype=np.int8),
+                        np.array(addresses, dtype=np.int64)))
+    return streams
+
+
+def _warmed_system(config, accesses: int):
+    system = build_system(config)
+    workload = make_multithreaded(find_profile("blackscholes"), config,
+                                  accesses, seed=7)
+    run_workload(system, workload)
+    return system
+
+
+def _hot_path(accesses: int, stream_length: int, rounds: int) -> dict:
+    """Time the same safe-hit stream through both paths.
+
+    Each round builds two identically warmed systems (the paths mutate
+    recency/state, so they cannot share one) and drives every core's
+    stream through the scalar ``system.access`` walk on one and the
+    kernel scan + ``retire_run`` loop on the other, asserting the
+    resulting per-core stats match exactly.
+    """
+    config = _bench_config()
+    best = {}
+    for _ in range(rounds):
+        systems = {k: _warmed_system(config, accesses)
+                   for k in ("scalar", "batched")}
+        streams = _safe_streams(systems["scalar"], stream_length)
+        deltas = {}
+
+        system = systems["scalar"]
+        access = system.access
+        before = _snapshot(system)[0]
+        started = perf_counter()
+        for core, (ops, addresses) in enumerate(streams):
+            for op, address in zip(
+                    [Op.READ if o == 0 else Op.WRITE
+                     for o in ops.tolist()], addresses.tolist()):
+                access(core, op, address)
+        elapsed = perf_counter() - started
+        best["scalar"] = min(best.get("scalar", elapsed), elapsed)
+        after = _snapshot(system)[0]
+        deltas["scalar"] = _stat_delta(before, after)
+
+        system = systems["batched"]
+        slots = [SlotKernel(core, system.cores[core], system.stats,
+                            system.shadow, system.config.latency,
+                            ops, addresses)
+                 for core, (ops, addresses) in enumerate(streams)]
+        before = _snapshot(system)[0]
+        no_limit = 1 << 62
+        started = perf_counter()
+        for core, slot in enumerate(slots):
+            pos = 0
+            clock = system.stats.cycles[core]
+            while pos < slot.length:
+                end = slot.safe_end(pos)
+                assert end > pos, "stream misclassified as unsafe"
+                pos, clock = slot.retire_run(pos, end, clock, no_limit)
+        elapsed = perf_counter() - started
+        best["batched"] = min(best.get("batched", elapsed), elapsed)
+        after = _snapshot(system)[0]
+        deltas["batched"] = _stat_delta(before, after)
+
+        assert deltas["scalar"] == deltas["batched"], (
+            "hot-path stats diverged: "
+            f"{ {k: (deltas['scalar'][k], deltas['batched'][k]) for k in deltas['scalar'] if deltas['scalar'][k] != deltas['batched'][k]} }")
+    total = stream_length * config.n_cores
+    return {
+        "accesses": total,
+        "scalar_seconds": round(best["scalar"], 4),
+        "batched_seconds": round(best["batched"], 4),
+        "speedup": round(best["scalar"] / best["batched"], 3),
+    }
+
+
+def _stat_delta(before: dict, after: dict) -> dict:
+    delta = {}
+    for key, value in after.items():
+        prev = before[key]
+        if isinstance(value, list):
+            delta[key] = [a - b for a, b in zip(value, prev)]
+        elif isinstance(value, (int, float)):
+            delta[key] = value - prev
+        else:
+            delta[key] = (prev, value)
+    return delta
+
+
+def measure(accesses: int = 4000, stream_length: int = 24000,
+            rounds: int = 2, path=None) -> dict:
+    e2e = _end_to_end(accesses, rounds)
+    hot = _hot_path(accesses, stream_length, rounds)
+    entry = {
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ",
+                                     time.gmtime()),
+        "cpu_count": os.cpu_count(),
+        "end_to_end": e2e,
+        "hot_path": hot,
+        "hot_path_speedup": hot["speedup"],
+    }
+    if path is not None:
+        path = Path(path)
+        history = []
+        if path.is_file():
+            try:
+                history = json.loads(path.read_text())
+            except json.JSONDecodeError:
+                history = []
+        history.append(entry)
+        path.parent.mkdir(exist_ok=True)
+        atomic_write_text(path, json.dumps(history[-MAX_HISTORY:],
+                                           indent=1) + "\n")
+    return entry
+
+
+def test_kernel_speedup():
+    entry = measure(path=BENCH_PATH)
+    print(f"\nhot path: {entry['hot_path']['accesses']:,} safe hits | "
+          f"scalar {entry['hot_path']['scalar_seconds']:.3f}s, "
+          f"kernel {entry['hot_path']['batched_seconds']:.3f}s "
+          f"-> {entry['hot_path_speedup']:.2f}x")
+    for row in entry["end_to_end"]:
+        print(f"  {row['config']:>13s} {row['workload']:<20s} "
+              f"{row['speedup']:.2f}x")
+    assert entry["hot_path_speedup"] >= HOT_PATH_FLOOR, (
+        f"hot-path speedup {entry['hot_path_speedup']:.2f}x below the "
+        f"{HOT_PATH_FLOOR}x floor")

@@ -1,11 +1,15 @@
 #!/usr/bin/env python
-"""CI smoke check: jobs=1 and jobs=2 batches must be stat-identical.
+"""CI smoke check: jobs=1, jobs=2, and kernel=scalar must agree.
 
 Runs a small fig17-style batch (baseline + ZeroDEV over two workloads)
 serially and through the multiprocessing pool, with caching disabled so
 both paths actually simulate, and fails loudly on the first divergent
-stat. The simulator is deterministic, so any difference is a harness
-bug (scheduling, pickling, or result-ordering), not noise.
+stat. The same batch is then re-run under the scalar access kernel
+(``kernel="scalar"``), which must be bit-identical to the default
+batched kernel (the repro.kernel contract). The simulator is
+deterministic, so any difference is a harness or kernel bug
+(scheduling, pickling, result-ordering, or run-ahead retirement), not
+noise.
 """
 
 from __future__ import annotations
@@ -44,19 +48,25 @@ def main() -> int:
 
     serial = run_many(specs, jobs=1, cache=None)
     parallel = run_many(specs, jobs=2, cache=None)
+    scalar = run_many([(config.with_(kernel="scalar"), workload)
+                       for config, workload in specs],
+                      jobs=1, cache=None)
 
-    for index, (a, b) in enumerate(zip(serial, parallel)):
-        if a.stats.as_dict() != b.stats.as_dict():
-            print(f"FAIL: spec {index} ({a.workload}) diverged between "
-                  f"jobs=1 and jobs=2", file=sys.stderr)
-            left, right = a.stats.as_dict(), b.stats.as_dict()
-            for key in left:
-                if left[key] != right.get(key):
-                    print(f"  {key}: serial={left[key]} "
-                          f"parallel={right.get(key)}", file=sys.stderr)
-            return 1
-    print(f"OK: {len(specs)} runs bit-identical between jobs=1 and "
-          f"jobs=2")
+    for label, other in (("jobs=2", parallel),
+                         ("kernel=scalar", scalar)):
+        for index, (a, b) in enumerate(zip(serial, other)):
+            if a.stats.as_dict() != b.stats.as_dict():
+                print(f"FAIL: spec {index} ({a.workload}) diverged "
+                      f"between jobs=1 and {label}", file=sys.stderr)
+                left, right = a.stats.as_dict(), b.stats.as_dict()
+                for key in left:
+                    if left[key] != right.get(key):
+                        print(f"  {key}: serial={left[key]} "
+                              f"{label}={right.get(key)}",
+                              file=sys.stderr)
+                return 1
+    print(f"OK: {len(specs)} runs bit-identical between jobs=1, "
+          f"jobs=2, and the scalar kernel")
     return 0
 
 

@@ -103,6 +103,24 @@ class LLCBank:
         would recreate the case-(iiib) hazard of Section III-D2, and
         evicting the block itself while spilling its entry would, in an
         inclusive LLC, invalidate the very copies the entry tracks.
+
+        The selection order is deterministic at every tier (``frames``
+        is kept in LRU-to-MRU order, never iterated through a dict):
+
+        1. dataLRU only: the least-recent unprotected *ordinary* (DATA)
+           frame.
+        2. The least-recent unprotected frame of any kind -- under
+           dataLRU this is the all-protected-data fallback where the
+           set holds nothing but spilled/fused entry frames (plus,
+           possibly, the protected block), and the oldest *entry* frame
+           is sacrificed (its directory entry escalates to WB_DE).
+        3. Every frame belongs to ``protect_block`` (at most its data
+           frame plus its spilled-entry frame, so only reachable in a
+           2-way set): the overall LRU frame, as a last resort --
+           callers installing a frame always have room in this case
+           because insert() only evicts from a *full* set, which a
+           2-frame protected set cannot be while inserting a third
+           frame of the same block is banned by the duplicate check.
         """
         frames = self._frames[set_idx]
         if not frames:
@@ -117,10 +135,10 @@ class LLCBank:
             for line in frames:                 # LRU-to-MRU order
                 if line.kind is LineKind.DATA and not protected(line):
                     return line
-        for line in frames:
+        for line in frames:                     # LRU-to-MRU order
             if not protected(line):
                 return line
-        return frames[0]
+        return frames[0]                        # overall LRU, last resort
 
     def insert(self, line: LLCLine,
                protect_block: Optional[int] = None) -> Optional[LLCLine]:

@@ -47,6 +47,19 @@ class PrivateHierarchy:
         self._l1i: SetAssocCache[L1Line] = SetAssocCache(l1i)
         self._l1d: SetAssocCache[L1Line] = SetAssocCache(l1d)
         self._l2: SetAssocCache[L2Line] = SetAssocCache(l2)
+        #: Safety-shrink journal for the batched kernel (repro.kernel):
+        #: ``epoch`` is bumped and the affected block appended to
+        #: ``shrink_log`` by every mutation that can make a previously
+        #: safe hit unsafe (invalidation, downgrade, re-state to S, and
+        #: the L2 *victim* of a fill).  Mutations that only extend
+        #: safety -- the fill itself, the upgrade grant to E, the
+        #: silent E->M of commit_write -- deliberately do not, because
+        #: the kernel's cached classification is allowed to
+        #: under-approximate (an unclassified hit just takes the scalar
+        #: hit path).  The kernel is the journal's single consumer and
+        #: clears it as it reconciles.
+        self.epoch = 0
+        self.shrink_log: List[int] = []
 
     # ------------------------------------------------------------------
     # Introspection
@@ -119,6 +132,8 @@ class PrivateHierarchy:
             L2Line(block, state, version, dirty=state is MESI.M,
                    is_code=code))
         if victim is not None:
+            self.epoch += 1
+            self.shrink_log.append(victim.block)
             self._back_invalidate_l1(victim.block)
             if self.obs is not None:
                 self.obs.emit(EventKind.L2_EVICT, block=victim.block,
@@ -137,6 +152,8 @@ class PrivateHierarchy:
         the copy die (``dev`` / ``getx`` / ``inclusion`` / ``socket`` --
         see :class:`repro.obs.events.InvCause`).
         """
+        self.epoch += 1
+        self.shrink_log.append(block)
         self._back_invalidate_l1(block)
         line = self._l2.remove(block)
         if line is not None and self.obs is not None:
@@ -151,6 +168,8 @@ class PrivateHierarchy:
             raise ProtocolInvariantError(
                 f"core {self.core} asked to downgrade block {block:#x} "
                 f"it does not own")
+        self.epoch += 1
+        self.shrink_log.append(block)
         line.state = MESI.S
         line.dirty = False
         return line
@@ -160,6 +179,12 @@ class PrivateHierarchy:
         if line is None:
             raise ProtocolInvariantError(
                 f"core {self.core} has no block {block:#x} to re-state")
+        if state is MESI.S:
+            # Losing ownership shrinks store safety; gaining it (the
+            # upgrade grant to E) only extends safety and needs no
+            # journal entry.
+            self.epoch += 1
+            self.shrink_log.append(block)
         line.state = state
 
     # ------------------------------------------------------------------

@@ -130,6 +130,8 @@ def _command_demo(args) -> int:
 
 def _command_verify(args) -> int:
     """Bounded-exhaustive protocol verification (see PROTOCOL.md §6)."""
+    if args.kernel_diff:
+        return _verify_kernel_diff(args)
     from repro.coherence.exhaustive import ExhaustiveExplorer
     from repro.common.config import CacheGeometry, SystemConfig
 
@@ -165,6 +167,18 @@ def _command_verify(args) -> int:
         return 0
     print(f"COUNTEREXAMPLE: {report.counterexample}")
     return 1
+
+
+def _verify_kernel_diff(args) -> int:
+    """Scalar-vs-batched bit-identity differential (repro.kernel)."""
+    from repro.kernel.diff import run_kernel_diff
+
+    report = run_kernel_diff(
+        seed=args.seed, budget=args.budget,
+        check_every=args.check_every,
+        steps_per_trace=args.steps_per_trace, out_dir=args.out)
+    print(report.summary())
+    return 0 if report.ok else 1
 
 
 #: A campaign whose completed runs are all clean but which is missing
@@ -347,6 +361,21 @@ def build_parser() -> argparse.ArgumentParser:
                         help="sampling seed (with --samples)")
     verify.add_argument("--jobs", type=_jobs_argument, default=None,
                         help="worker processes (with --samples)")
+    verify.add_argument("--kernel-diff", action="store_true",
+                        help="scalar-vs-batched kernel bit-identity "
+                             "differential over the fuzz model matrix "
+                             "instead of state exploration")
+    verify.add_argument("--budget", type=int, default=25,
+                        help="traces per kernel-diff campaign (each runs "
+                             "on every model under both kernels)")
+    verify.add_argument("--check-every", type=int, default=0,
+                        help="invariant-check every N accesses during "
+                             "kernel-diff runs (0 = final state only)")
+    verify.add_argument("--steps-per-trace", type=int, default=48,
+                        help="accesses per kernel-diff trace")
+    verify.add_argument("--out", default=None,
+                        help="directory for divergent-trace .npz "
+                             "reproducers (kernel-diff)")
 
     fuzz = commands.add_parser(
         "fuzz", help="differential fuzzing across the model matrix")

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import enum
 import math
+import os
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
@@ -49,6 +50,27 @@ class CacheGeometry:
     @property
     def sets(self) -> int:
         return self.blocks // self.ways
+
+
+#: Access-kernel identifiers (see :mod:`repro.kernel`): ``batched``
+#: pre-classifies private-cache hits and retires them in bulk, with a
+#: bit-identity contract against ``scalar`` (the per-message protocol
+#: walk). ``REPRO_KERNEL=scalar`` is the runtime escape hatch.
+KERNELS = ("batched", "scalar")
+KERNEL_ENV = "REPRO_KERNEL"
+
+
+def resolve_kernel(config: "SystemConfig") -> str:
+    """The kernel a run of ``config`` will use: env override, else the
+    config field. Raises :class:`ConfigError` on unknown names."""
+    env = os.environ.get(KERNEL_ENV)
+    if env:
+        if env not in KERNELS:
+            raise ConfigError(
+                f"{KERNEL_ENV}={env!r} is not a kernel; choose one of "
+                f"{', '.join(KERNELS)}")
+        return env
+    return config.kernel
 
 
 class LLCDesign(enum.Enum):
@@ -190,10 +212,19 @@ class SystemConfig:
     # Multi-grain Directory region size in blocks (1 KB regions).
     mgd_region_blocks: int = 16
     check_data: bool = True           # shadow-memory version checking
+    #: Access kernel driving the runner hot path (``repro.kernel``).
+    #: ``batched`` and ``scalar`` are bit-identical by contract
+    #: (``repro verify --kernel-diff``); the field participates in
+    #: result-cache keys so cached results never mix kernels.
+    kernel: str = "batched"
 
     def __post_init__(self) -> None:
         if self.n_cores <= 0:
             raise ConfigError("n_cores must be positive")
+        if self.kernel not in KERNELS:
+            raise ConfigError(
+                f"kernel must be one of {', '.join(KERNELS)}, "
+                f"not {self.kernel!r}")
         if not _is_pow2(self.llc_banks):
             raise ConfigError("llc_banks must be a power of two")
         if self.llc.blocks % self.llc_banks:

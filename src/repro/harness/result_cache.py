@@ -31,7 +31,7 @@ from dataclasses import fields, is_dataclass
 from pathlib import Path
 from typing import Dict, Optional
 
-from repro.common.config import SystemConfig
+from repro.common.config import SystemConfig, resolve_kernel
 from repro.harness.runner import RunResult
 from repro.workloads.trace import Workload
 
@@ -54,9 +54,16 @@ def _canonical(value):
 
 
 def run_key(config: SystemConfig, workload: Workload, **extra) -> str:
-    """Stable content hash identifying one run."""
+    """Stable content hash identifying one run.
+
+    The *resolved* access kernel enters the key (on top of the
+    ``config.kernel`` field, which the config hash already covers) so a
+    ``REPRO_KERNEL`` environment override can never replay a cached
+    result produced under the other kernel.
+    """
     digest = hashlib.sha256()
     digest.update(repr(_canonical(config)).encode())
+    digest.update(resolve_kernel(config).encode())
     digest.update(repr(_canonical(extra)).encode())
     digest.update(str(workload.n_cores).encode())
     for trace in workload.traces:

@@ -21,6 +21,7 @@ from time import perf_counter
 from typing import Callable, List, Optional
 
 from repro.coherence.protocol import CMPSystem
+from repro.common.config import resolve_kernel
 from repro.common.stats import SystemStats
 from repro.workloads.trace import OP_BY_CODE, Workload
 
@@ -169,13 +170,33 @@ def run_workload(system: CMPSystem, workload: Workload,
         stats.reset()
         cycles = stats.cycles
 
+    # Gauge sampling observes intermediate states, which are schedule-
+    # dependent: the batched kernel retires safe hits of different
+    # cores out of global order (final state identical, mid-run states
+    # not), so instrumented runs keep the scalar driver.
+    kernel = resolve_kernel(system.config)
+    if sample_fn is not None:
+        kernel = "scalar"
+
     def drive() -> None:
+        sample = (None if sample_fn is None
+                  else lambda: sample_fn(system))
+        if kernel == "batched":
+            from repro.kernel import SlotKernel, drive_batched
+            slots = [SlotKernel(core, system.cores[core], stats,
+                                system.shadow, system.config.latency,
+                                trace.ops, trace.addresses)
+                     for core, trace in enumerate(traces)]
+            drive_batched(slots, issue,
+                          check=system.check_invariants,
+                          check_every=check_invariants_every,
+                          warmup=warmup, on_warmup=on_warmup, obs=obs)
+            return
         _drive_interleaved(
             lengths, issue,
             check=system.check_invariants,
             check_every=check_invariants_every,
-            sample=(None if sample_fn is None
-                    else lambda: sample_fn(system)),
+            sample=sample,
             sample_every=sample_every,
             warmup=warmup, on_warmup=on_warmup)
 
@@ -219,9 +240,22 @@ def run_multisocket_workload(system, workload: Workload,
         access(socket, core, ops[slot][index], addresses[slot][index])
         return sockets[socket].stats.cycles[core]
 
-    _drive_interleaved(lengths, issue,
-                       check=system.check_invariants,
-                       check_every=check_invariants_every)
+    if resolve_kernel(system.config) == "batched":
+        from repro.kernel import SlotKernel, drive_batched
+        slots = []
+        for slot, trace in enumerate(traces):
+            socket, core = homes[slot]
+            slots.append(SlotKernel(
+                core, sockets[socket].cores[core],
+                sockets[socket].stats, sockets[socket].shadow,
+                system.config.latency, trace.ops, trace.addresses))
+        drive_batched(slots, issue,
+                      check=system.check_invariants,
+                      check_every=check_invariants_every)
+    else:
+        _drive_interleaved(lengths, issue,
+                           check=system.check_invariants,
+                           check_every=check_invariants_every)
     if check_invariants_every:
         system.check_invariants()
     return system.stats

@@ -104,11 +104,13 @@ class TraceSession:
     def run(self, workload, **run_kwargs):
         """Run ``workload`` on the attached system with gauge sampling."""
         from repro.harness.runner import run_workload
+        from repro.common.config import resolve_kernel
         if self.jsonl is not None:
             self.jsonl.write_meta(
                 workload=workload.name,
                 protocol=self.system.config.protocol.value,
                 n_cores=self.system.config.n_cores,
+                kernel=resolve_kernel(self.system.config),
                 epoch_accesses=self.aggregator.epoch)
         run_kwargs.setdefault("sample_every", self.aggregator.epoch)
         run_kwargs.setdefault("sample_fn", self.aggregator.sample)
@@ -126,7 +128,9 @@ class TraceSession:
         self._closed = True
         detach(self.system)
         if self.timeseries_path is not None:
-            meta = {"runner_phases": self.profiler.to_dict()}
+            from repro.common.config import resolve_kernel
+            meta = {"runner_phases": self.profiler.to_dict(),
+                    "kernel": resolve_kernel(self.system.config)}
             if self.jsonl is not None:
                 meta["trace"] = str(self.jsonl.path)
             write_timeseries(self.timeseries_path, self.aggregator,

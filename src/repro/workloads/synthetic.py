@@ -288,8 +288,10 @@ def generate(profile: AppProfile, config: SystemConfig,
 
     traces = []
     for app_core, core in zip(app_cores, cores):
-        rng = np.random.default_rng(
-            (seed, name_tag & 0xffff, instance, core))
+        # Full 32-bit tag: truncating to the low 16 bits made any two
+        # profiles whose names collide mod 2^16 draw identical streams
+        # for the same (seed, instance, core).
+        rng = np.random.default_rng((seed, name_tag, instance, core))
         phase_ops, phase_blocks = [], []
         for (n, phase), sizes in zip(segments, all_sizes):
             ops, blocks = _core_segment(

@@ -4,7 +4,8 @@ import pytest
 
 from repro.common.config import (CacheGeometry, DirCachingPolicy,
                                  DirectoryConfig, LLCDesign, LLCReplacement,
-                                 Protocol, SystemConfig, scaled_socket,
+                                 Protocol, SystemConfig, KERNELS, KERNEL_ENV,
+                                 resolve_kernel, scaled_socket,
                                  table1_socket)
 from repro.common.errors import ConfigError
 
@@ -104,3 +105,26 @@ class TestSystemConfig:
         assert DirCachingPolicy("fuse-all") is DirCachingPolicy.FUSE_ALL
         assert LLCReplacement("dataLRU") is LLCReplacement.DATA_LRU
         assert LLCDesign("epd") is LLCDesign.EPD
+
+
+class TestKernelSelection:
+    def test_default_is_batched(self):
+        assert table1_socket().kernel == "batched"
+        assert "batched" in KERNELS and "scalar" in KERNELS
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(kernel="simd")
+
+    def test_resolve_prefers_env(self, monkeypatch):
+        config = table1_socket()
+        monkeypatch.delenv(KERNEL_ENV, raising=False)
+        assert resolve_kernel(config) == "batched"
+        monkeypatch.setenv(KERNEL_ENV, "scalar")
+        assert resolve_kernel(config) == "scalar"
+        assert resolve_kernel(config.with_(kernel="scalar")) == "scalar"
+
+    def test_resolve_rejects_unknown_env(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_ENV, "turbo")
+        with pytest.raises(ConfigError):
+            resolve_kernel(table1_socket())

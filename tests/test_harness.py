@@ -58,6 +58,65 @@ class TestRunner:
             run_workload(system, workload)
 
 
+class TestWarmupBoundary:
+    """The ROI reset with unequal per-core trace lengths.
+
+    A core whose trace ends *inside* the warm-up window must simply be
+    absent from the region of interest -- never replayed, never counted
+    twice -- and every surviving core must re-enter the ROI with a zero
+    local clock.
+    """
+
+    def test_drive_interleaved_issues_each_access_exactly_once(self):
+        from repro.harness.runner import _drive_interleaved
+
+        lengths = [5, 50, 50]
+        issued = []
+        clocks = [0] * len(lengths)
+
+        def issue(slot, index):
+            issued.append((slot, index))
+            clocks[slot] += 7 + slot     # uneven, deterministic
+            return clocks[slot]
+
+        steps = _drive_interleaved(list(lengths), issue, warmup=30,
+                                   on_warmup=lambda: None)
+        assert steps == sum(lengths)
+        # Exactly once each: no access replayed across the boundary,
+        # none dropped, per-core counts equal the trace lengths.
+        assert len(issued) == len(set(issued)) == sum(lengths)
+        for slot, length in enumerate(lengths):
+            assert [i for s, i in issued if s == slot] == list(
+                range(length))
+
+    def test_short_trace_contributes_no_roi_stats(self):
+        from repro.workloads.trace import CoreTrace, Workload
+        import numpy as np
+
+        config = tiny_config()
+        profile = find_profile("blackscholes")
+        donor = make_multithreaded(profile, config, 400, seed=3)
+        traces = []
+        for core, trace in enumerate(donor.traces):
+            n = 12 if core == 0 else 400   # core 0 dies inside warm-up
+            traces.append(CoreTrace(core, np.asarray(trace.ops[:n]),
+                                    np.asarray(trace.addresses[:n])))
+        workload = Workload("uneven", traces)
+        per_core = {}
+        for kernel in ("scalar", "batched"):
+            system = build_system(config.with_(kernel=kernel))
+            result = run_workload(system, workload, warmup=200)
+            stats = result.stats
+            assert stats.accesses[0] == 0      # finished pre-boundary
+            for core, trace in enumerate(traces):
+                assert stats.accesses[core] <= len(trace)
+            assert sum(stats.accesses) == sum(
+                len(t) for t in traces) - 200
+            per_core[kernel] = (list(stats.accesses),
+                                list(stats.cycles))
+        assert per_core["scalar"] == per_core["batched"]
+
+
 class TestBuilder:
     def test_dispatch(self):
         from repro.baselines import MgDSystem, SecDirSystem

@@ -242,6 +242,35 @@ class TestDataLRU:
         victim = bank.choose_victim(bank.set_of(4))
         assert victim.kind is LineKind.SPILLED and victim.block == 4
 
+    def test_all_protected_data_set_picks_lru_entry_frame(self):
+        # dataLRU tier 2 pinned: the only DATA frame is the protected
+        # block's own, the rest are entry frames -- the victim is the
+        # least-recent *unprotected* frame in LRU order, deterministic
+        # because frames is an ordered list, never a dict walk.
+        bank = make_bank(ways=4, replacement=LLCReplacement.DATA_LRU)
+        bank.insert(spill(4))
+        bank.insert(spill(8))
+        bank.insert(spill(12))
+        bank.insert(data(0))
+        bank.lookup_spill(4)            # 4 to MRU; LRU order: 8, 12, 0, 4
+        victim = bank.choose_victim(bank.set_of(0), protect_block=0)
+        assert victim.kind is LineKind.SPILLED and victim.block == 8
+        # Recency, not insertion order, decides: repeatable.
+        assert bank.choose_victim(bank.set_of(0),
+                                  protect_block=0) is victim
+
+    def test_every_frame_protected_returns_overall_lru(self):
+        # dataLRU tier 3 pinned: both frames of a 2-way set belong to
+        # the protected block itself, so the documented last resort is
+        # the overall LRU frame -- here the block's data frame, which
+        # was inserted (and last touched) before its spilled entry.
+        bank = make_bank(ways=2, replacement=LLCReplacement.DATA_LRU)
+        own_data = data(4)
+        bank.insert(own_data)
+        bank.insert(spill(4))
+        victim = bank.choose_victim(bank.set_of(4), protect_block=4)
+        assert victim is own_data
+
 
 class TestEndToEndSpLRU:
     """Protocol-level regression for the spLRU insert-ordering bug."""
