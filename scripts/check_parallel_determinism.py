@@ -1,15 +1,15 @@
 #!/usr/bin/env python
-"""CI smoke check: jobs=1, jobs=2, and kernel=scalar must agree.
+"""CI smoke: jobs=1, jobs=2, kernel=scalar, kernel=vectorized agree.
 
 Runs a small fig17-style batch (baseline + ZeroDEV over two workloads)
 serially and through the multiprocessing pool, with caching disabled so
 both paths actually simulate, and fails loudly on the first divergent
-stat. The same batch is then re-run under the scalar access kernel
-(``kernel="scalar"``), which must be bit-identical to the default
+stat. The same batch is then re-run under the scalar and vectorized
+access kernels, both of which must be bit-identical to the default
 batched kernel (the repro.kernel contract). The simulator is
 deterministic, so any difference is a harness or kernel bug
-(scheduling, pickling, result-ordering, or run-ahead retirement), not
-noise.
+(scheduling, pickling, result-ordering, run-ahead retirement, or
+columnar reconstruction), not noise.
 """
 
 from __future__ import annotations
@@ -51,9 +51,13 @@ def main() -> int:
     scalar = run_many([(config.with_(kernel="scalar"), workload)
                        for config, workload in specs],
                       jobs=1, cache=None)
+    vectorized = run_many([(config.with_(kernel="vectorized"), workload)
+                           for config, workload in specs],
+                          jobs=1, cache=None)
 
     for label, other in (("jobs=2", parallel),
-                         ("kernel=scalar", scalar)):
+                         ("kernel=scalar", scalar),
+                         ("kernel=vectorized", vectorized)):
         for index, (a, b) in enumerate(zip(serial, other)):
             if a.stats.as_dict() != b.stats.as_dict():
                 print(f"FAIL: spec {index} ({a.workload}) diverged "
@@ -66,7 +70,7 @@ def main() -> int:
                               file=sys.stderr)
                 return 1
     print(f"OK: {len(specs)} runs bit-identical between jobs=1, "
-          f"jobs=2, and the scalar kernel")
+          f"jobs=2, and the scalar and vectorized kernels")
     return 0
 
 

@@ -170,13 +170,23 @@ def _command_verify(args) -> int:
 
 
 def _verify_kernel_diff(args) -> int:
-    """Scalar-vs-batched bit-identity differential (repro.kernel)."""
+    """Scalar-vs-bulk-kernel bit-identity differential (repro.kernel)."""
+    from repro.common.config import KERNELS
     from repro.kernel.diff import run_kernel_diff
 
+    kernels = tuple(name.strip()
+                    for name in args.kernels.split(",") if name.strip())
+    for name in kernels:
+        if name not in KERNELS or name == "scalar":
+            raise SystemExit(
+                f"--kernels: {name!r} is not a kernel under test; "
+                f"choose from "
+                f"{', '.join(k for k in KERNELS if k != 'scalar')}")
     report = run_kernel_diff(
         seed=args.seed, budget=args.budget,
         check_every=args.check_every,
-        steps_per_trace=args.steps_per_trace, out_dir=args.out)
+        steps_per_trace=args.steps_per_trace, out_dir=args.out,
+        kernels=kernels)
     print(report.summary())
     return 0 if report.ok else 1
 
@@ -362,12 +372,15 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument("--jobs", type=_jobs_argument, default=None,
                         help="worker processes (with --samples)")
     verify.add_argument("--kernel-diff", action="store_true",
-                        help="scalar-vs-batched kernel bit-identity "
+                        help="scalar-vs-bulk-kernel bit-identity "
                              "differential over the fuzz model matrix "
                              "instead of state exploration")
+    verify.add_argument("--kernels", default="batched,vectorized",
+                        help="comma-separated kernels to diff against "
+                             "scalar (kernel-diff)")
     verify.add_argument("--budget", type=int, default=25,
                         help="traces per kernel-diff campaign (each runs "
-                             "on every model under both kernels)")
+                             "on every model under every kernel)")
     verify.add_argument("--check-every", type=int, default=0,
                         help="invariant-check every N accesses during "
                              "kernel-diff runs (0 = final state only)")

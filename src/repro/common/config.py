@@ -53,10 +53,13 @@ class CacheGeometry:
 
 
 #: Access-kernel identifiers (see :mod:`repro.kernel`): ``batched``
-#: pre-classifies private-cache hits and retires them in bulk, with a
-#: bit-identity contract against ``scalar`` (the per-message protocol
-#: walk). ``REPRO_KERNEL=scalar`` is the runtime escape hatch.
-KERNELS = ("batched", "scalar")
+#: pre-classifies private-cache hits and retires them in bulk, and
+#: ``vectorized`` retires those bulk runs as columnar NumPy operations
+#: (:mod:`repro.kernel.columnar`); both carry a bit-identity contract
+#: against ``scalar`` (the per-message protocol walk), enforced by
+#: ``repro verify --kernel-diff``. ``REPRO_KERNEL=scalar`` is the
+#: runtime escape hatch.
+KERNELS = ("batched", "scalar", "vectorized")
 KERNEL_ENV = "REPRO_KERNEL"
 
 
@@ -212,10 +215,11 @@ class SystemConfig:
     # Multi-grain Directory region size in blocks (1 KB regions).
     mgd_region_blocks: int = 16
     check_data: bool = True           # shadow-memory version checking
-    #: Access kernel driving the runner hot path (``repro.kernel``).
-    #: ``batched`` and ``scalar`` are bit-identical by contract
-    #: (``repro verify --kernel-diff``); the field participates in
-    #: result-cache keys so cached results never mix kernels.
+    #: Access kernel driving the runner hot path (``repro.kernel``):
+    #: ``batched``, ``vectorized``, or ``scalar``, all bit-identical
+    #: by contract (``repro verify --kernel-diff``); the field
+    #: participates in result-cache keys so cached results never mix
+    #: kernels.
     kernel: str = "batched"
 
     def __post_init__(self) -> None:

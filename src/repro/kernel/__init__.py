@@ -18,9 +18,20 @@ its exact scalar position with the exact scalar machine state; see
 :mod:`repro.kernel.batched` for the argument.  The contract is enforced
 by ``repro verify --kernel-diff`` (see :mod:`repro.kernel.diff`) and
 documented in DESIGN.md Section 11.
+
+The ``vectorized`` kernel (:mod:`repro.kernel.columnar`) keeps the
+same classification/driver machinery but retires each safe run as
+columnar NumPy operations over structure-of-arrays mirrors of the
+private-cache state, under the identical bit-identity contract
+(DESIGN.md Section 12).
 """
 
 from repro.kernel.batched import (ADAPT_WINDOW, SCAN_WINDOW, SlotKernel,
                                   drive_batched)
+from repro.kernel.columnar import (ColumnarSlotKernel, HierarchyColumns,
+                                   LLCColumns, VEC_MIN_RUN,
+                                   VEC_SCAN_WINDOW)
 
-__all__ = ["ADAPT_WINDOW", "SCAN_WINDOW", "SlotKernel", "drive_batched"]
+__all__ = ["ADAPT_WINDOW", "SCAN_WINDOW", "SlotKernel",
+           "ColumnarSlotKernel", "HierarchyColumns", "LLCColumns",
+           "VEC_MIN_RUN", "VEC_SCAN_WINDOW", "drive_batched"]

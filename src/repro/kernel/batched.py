@@ -94,12 +94,23 @@ from repro.common.addressing import BLOCK_SHIFT
 #: bulk-retired accesses.
 SCAN_WINDOW = 512
 
-#: Adaptive-mode evaluation window (accesses).  Every window the driver
-#: re-decides between bulk mode (scan + run-ahead retirement) and
-#: degraded mode (plain scalar issue in exact heap order): bulk
-#: machinery only pays for itself when safe runs amortize it, which
-#: miss- and share-heavy phases do not.
+#: Steady-state adaptive-mode evaluation window (accesses).  Every
+#: window the driver re-decides between bulk mode (scan + run-ahead
+#: retirement) and degraded mode (plain scalar issue in exact heap
+#: order): bulk machinery only pays for itself when safe runs amortize
+#: it, which miss- and share-heavy phases do not.
 ADAPT_WINDOW = 4096
+
+#: First evaluation window.  The window *ramps* (doubling each
+#: evaluation) from this up to :data:`ADAPT_WINDOW`, so share-heavy
+#: workloads whose bulk runs never get long -- where a full 4096 x
+#: streak of bulk overhead used to cost ~10% end-to-end
+#: (cpu2017/xalancbmk) -- degrade within the first ~1.5k accesses,
+#: while hit-heavy workloads quickly grow the window back to the cheap
+#: steady-state cadence.  Ramping is self-calibration, not a tunable:
+#: early small windows sample the workload's run-length regime at low
+#: commitment.
+ADAPT_WINDOW_MIN = 512
 
 #: Degrade when the mean bulk-run length over a window drops below
 #: this (measured crossover: runs shorter than ~3 accesses cost more
@@ -112,6 +123,11 @@ DEGRADE_RUN_LENGTH = 3.0
 PROMOTE_HIT_FRACTION = 0.95
 
 #: Consecutive qualifying windows required before switching modes.
+#: During the calibration ramp (window still below
+#: :data:`ADAPT_WINDOW`) a *single* bad window degrades immediately:
+#: the ramp exists to find miss-heavy workloads fast, and every extra
+#: bulk window spent confirming the signal costs scan overhead that
+#: the 0.95x no-regression floor cannot absorb.
 ADAPT_STREAK = 2
 
 _NO_LIMIT = 1 << 62
@@ -434,17 +450,22 @@ def drive_batched(slots: List[SlotKernel],
     bus whose ``step`` must advance once per bulk-retired access.
     Returns the number of accesses issued.
 
-    The driver is adaptive: every :data:`ADAPT_WINDOW` accesses it
-    re-decides between *bulk* mode (classify + run-ahead retirement)
-    and *degraded* mode (plain scalar issue in exact heap order,
-    identical to the scalar runner's schedule).  Miss- and share-heavy
-    phases produce bulk runs too short to amortize the scan and
-    scheduling overhead, so the driver watches the windowed mean run
-    length to degrade and the windowed private-hit fraction (readable
-    from the stats counters) to promote back.  Both signals are
-    deterministic functions of the simulation, so runs stay
-    reproducible, and both modes are exact, so switching at any
-    boundary preserves bit identity.
+    The driver is adaptive: at every evaluation window -- ramping from
+    :data:`ADAPT_WINDOW_MIN` up to :data:`ADAPT_WINDOW` so the first
+    decisions come early -- it re-decides between *bulk* mode
+    (classify + run-ahead retirement) and *degraded* mode (plain
+    scalar issue in exact heap order, identical to the scalar runner's
+    schedule).  Miss- and share-heavy phases produce bulk runs too
+    short to amortize the scan and scheduling overhead, so the driver
+    watches the windowed mean run length to degrade and the windowed
+    private-hit fraction (readable from the stats counters) to promote
+    back.  With :class:`~repro.kernel.columnar.ColumnarSlotKernel`
+    slots the choice is three-way: within bulk mode each run retires
+    through the columnar pipeline or the batched per-access loop by
+    per-run cost accounting (run length against the pipeline's fixed
+    cost).  Every signal is a deterministic function of the
+    simulation, so runs stay reproducible, and all modes are exact, so
+    switching at any boundary preserves bit identity.
     """
     n = len(slots)
     lengths = [slot.length for slot in slots]
@@ -479,7 +500,12 @@ def drive_batched(slots: List[SlotKernel],
 
     degraded = False
     streak = 0
-    next_eval = ADAPT_WINDOW
+    # The evaluation window ramps from ADAPT_WINDOW_MIN to ADAPT_WINDOW
+    # (doubling per evaluation) so the first mode decisions come early;
+    # a monkeypatched ADAPT_WINDOW below the ramp floor pins the window
+    # (tests shrink it to force frequent evaluations).
+    window = min(ADAPT_WINDOW_MIN, ADAPT_WINDOW)
+    next_eval = window
     window_base = 0
     window_bulk = 0
     window_runs = 0
@@ -487,7 +513,7 @@ def drive_batched(slots: List[SlotKernel],
 
     def evaluate() -> None:
         """Window boundary: re-decide the mode (see docstring)."""
-        nonlocal degraded, streak, next_eval
+        nonlocal degraded, streak, next_eval, window
         nonlocal window_base, window_bulk, window_runs, hits_base
         if degraded:
             frac = (count_hits() - hits_base) / (step - window_base)
@@ -509,13 +535,16 @@ def drive_batched(slots: List[SlotKernel],
         else:
             mean_run = window_bulk / window_runs if window_runs else 0.0
             streak = streak + 1 if mean_run < DEGRADE_RUN_LENGTH else 0
-            if streak >= ADAPT_STREAK:
+            if streak >= ADAPT_STREAK or (streak
+                                          and window < ADAPT_WINDOW):
                 degraded = True
                 streak = 0
         window_base = step
         window_bulk = window_runs = 0
         hits_base = count_hits() if degraded else 0
-        next_eval = step + ADAPT_WINDOW
+        if window < ADAPT_WINDOW:
+            window = min(window * 2, ADAPT_WINDOW)
+        next_eval = step + window
 
     if not warmup:
         for index in range(n):
@@ -541,11 +570,13 @@ def drive_batched(slots: List[SlotKernel],
                             0, positions[index])
             heapq.heapify(heap)
             # The reset zeroed the counters the hit fraction is read
-            # from; start a fresh window.
+            # from; start a fresh window, restarting the calibration
+            # ramp at the region-of-interest boundary.
             window_base = step
             window_bulk = window_runs = 0
             hits_base = count_hits()
-            next_eval = step + ADAPT_WINDOW
+            window = min(ADAPT_WINDOW_MIN, ADAPT_WINDOW)
+            next_eval = step + window
         if degraded:
             # Degraded fast loop: issue everything through the scalar
             # protocol in exact heap order -- byte-for-byte the scalar
