@@ -1,0 +1,140 @@
+#!/usr/bin/env python
+"""CI smoke check: the job-service worker fleet survives SIGKILL.
+
+Submits one fuzz campaign to a fresh service root, starts a 3-worker
+fleet, SIGKILLs one worker while it holds a lease (no cleanup -- the
+OOM-kill / pre-empted-runner failure mode), and lets the survivors
+finish. The check then runs the identical spec in a second, untouched
+service root with a single uninterrupted worker and asserts:
+
+* the killed fleet's job reaches ``done`` with every run committed,
+* its canonical journal is **byte-identical** to the clean run's
+  (same meta, same keys, same pickled payloads, same order),
+* the result digest (SHA-256 over the journal) matches,
+* the HTML report exists and is self-contained -- no ``http(s)://``
+  URLs, no ``<script``, no ``<link``, nothing fetched at render time.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+SPEC = {"budget": 6, "seed": 7,
+        "models": ["baseline-1x", "zerodev-fuse-private-spill-shared",
+                   "zerodev-spill-all"]}
+WORKERS = 3
+LEASE_TTL = 3.0
+
+
+def worker_argv(root: Path) -> list:
+    return [sys.executable, "-m", "repro", "work", "--root", str(root),
+            "--until-idle", "--poll", "0.05",
+            "--lease-ttl", str(LEASE_TTL)]
+
+
+def submit(root: Path) -> str:
+    from repro.service import JobSpec, JobStore
+    record, _created = JobStore(root).submit(JobSpec.make("fuzz", SPEC))
+    return record.job_id
+
+
+def fail(message: str) -> int:
+    print(f"FAIL: {message}", file=sys.stderr)
+    return 1
+
+
+def main() -> int:
+    from repro.service import JobStore
+
+    with tempfile.TemporaryDirectory() as scratch:
+        fleet_root = Path(scratch) / "fleet"
+        clean_root = Path(scratch) / "clean"
+
+        # --- the fleet run, with one worker murdered mid-lease -------
+        job_id = submit(fleet_root)
+        fleet = [subprocess.Popen(worker_argv(fleet_root))
+                 for _ in range(WORKERS)]
+        victim = fleet[0]
+        queue_dir = fleet_root / "queue"
+        deadline = time.monotonic() + 120.0
+        while time.monotonic() < deadline:
+            if list(queue_dir.glob("*.lease")):
+                break
+            if all(worker.poll() is not None for worker in fleet):
+                return fail("fleet drained before any lease was seen; "
+                            "raise the budget")
+            time.sleep(0.01)
+        os.kill(victim.pid, signal.SIGKILL)
+        victim.wait()
+        print(f"SIGKILLed worker {victim.pid} "
+              f"({len(list(queue_dir.glob('*.lease')))} lease(s) held)")
+        for worker in fleet[1:]:
+            if worker.wait(timeout=300) != 0:
+                return fail(f"surviving worker exited {worker.returncode}")
+
+        # The victim's lease outlives it; one sweep-up pass reclaims
+        # and re-executes whatever it was holding when it died.
+        result = subprocess.run(worker_argv(fleet_root), timeout=300)
+        if result.returncode != 0:
+            return fail(f"sweep-up worker exited {result.returncode}")
+
+        store = JobStore(fleet_root)
+        record = store.record(job_id)
+        if record.state != "done":
+            return fail(f"fleet job finished {record.state!r}, "
+                        f"expected done ({record.progress})")
+        print(f"fleet job done: {record.progress}")
+
+        # --- the uninterrupted reference run --------------------------
+        clean_job = submit(clean_root)
+        if clean_job != job_id:
+            return fail("job ids diverged for identical specs")
+        result = subprocess.run(worker_argv(clean_root), timeout=600)
+        if result.returncode != 0:
+            return fail(f"clean worker exited {result.returncode}")
+        if JobStore(clean_root).record(clean_job).state != "done":
+            return fail("clean job did not finish done")
+
+        # --- bit-identity ---------------------------------------------
+        fleet_journal = (fleet_root / "jobs" / job_id
+                         / "journal.jsonl").read_bytes()
+        clean_journal = (clean_root / "jobs" / job_id
+                         / "journal.jsonl").read_bytes()
+        if fleet_journal != clean_journal:
+            return fail("killed-fleet journal differs from the "
+                        "uninterrupted run's journal")
+        digest = hashlib.sha256(fleet_journal).hexdigest()
+        print(f"journals byte-identical ({len(fleet_journal)} bytes, "
+              f"sha256 {digest[:16]}...)")
+
+        # --- the HTML report is self-contained ------------------------
+        report = fleet_root / "jobs" / job_id / "report.html"
+        if not report.is_file():
+            return fail("report.html missing")
+        html = report.read_text(encoding="utf-8").lower()
+        for needle in ("http://", "https://", "<script", "<link",
+                       "@import"):
+            if needle in html:
+                return fail(f"report.html is not self-contained: "
+                            f"contains {needle!r}")
+        summary = json.loads((fleet_root / "jobs" / job_id
+                              / "summary.json").read_text())
+        if not summary.get("ok"):
+            return fail(f"summary not ok: {summary.get('text')}")
+        print(f"report.html self-contained ({report.stat().st_size} "
+              f"bytes); verdict: ok")
+    print("OK: 3-worker fleet survived SIGKILL with a bit-identical "
+          "journal and a self-contained report")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -30,6 +30,13 @@ Commands
 ``shrink TRACE.npz``
     Re-shrink a saved fuzz trace against one model and emit the
     reduced ``.npz`` + pytest regression stub.
+``submit KIND [PARAMS]`` / ``work`` / ``status JOB`` / ``jobs``
+    The campaign job service (:mod:`repro.service`): submit a fuzz,
+    sweep, or figure spec as a JSON job into a shared service root,
+    drain the queue with any number of ``repro work`` processes (on any
+    number of hosts), and poll job state / fetch artifacts. ``repro
+    report --html`` renders a job's (or a trace's) self-contained HTML
+    experiment report.
 """
 
 from __future__ import annotations
@@ -245,8 +252,115 @@ def _command_shrink(args) -> int:
     return 1
 
 
+#: Default service root (``repro submit`` / ``work`` / ``status``).
+_SERVICE_ROOT_ENV = "REPRO_SERVICE_ROOT"
+
+
+def _service_root(args) -> str:
+    return (args.root or os.environ.get(_SERVICE_ROOT_ENV)
+            or ".repro-service")
+
+
+def _command_submit(args) -> int:
+    import json
+    from repro.service import JobSpec, JobStore
+
+    try:
+        params = json.loads(args.params) if args.params else {}
+    except json.JSONDecodeError as exc:
+        raise ConfigError(f"PARAMS must be a JSON object: {exc}") from None
+    if not isinstance(params, dict):
+        raise ConfigError("PARAMS must be a JSON object, got "
+                          f"{type(params).__name__}")
+    store = JobStore(_service_root(args))
+    record, created = store.submit(JobSpec.make(args.kind, params))
+    verb = "submitted" if created else "joined"
+    print(f"{verb} {record.describe()}")
+    print(f"  results: {store.job_dir(record.job_id)}")
+    if record.state == "done":
+        print("  already finished (content-addressed dedupe); see "
+              "report.html / summary.json")
+    return 0
+
+
+def _command_work(args) -> int:
+    from repro.service.worker import run_worker
+
+    processed = run_worker(
+        _service_root(args), worker_id=args.worker_id,
+        lease_ttl=args.lease_ttl, poll=args.poll, once=args.once,
+        until_idle=args.until_idle, max_items=args.max_items)
+    print(f"worker exit: {processed} item(s) processed")
+    return 0
+
+
+def _command_status(args) -> int:
+    from repro.service import JobStore
+
+    store = JobStore(_service_root(args))
+    record = store.record(args.job)
+    print(record.describe())
+    journal = store.journal_status(args.job)
+    if journal is not None:
+        print(f"  journal: {journal['committed']} committed run(s)")
+    for line in store.failure_lines(args.job):
+        print(f"  FAILED: {line}")
+    report = store.job_dir(args.job) / "report.html"
+    if report.is_file():
+        print(f"  report: {report}")
+    if record.state == "failed":
+        return 1
+    return EXIT_PARTIAL if record.state == "partial" else 0
+
+
+def _command_jobs(args) -> int:
+    from repro.service import JobStore
+
+    records = JobStore(_service_root(args)).list_jobs()
+    if not records:
+        print(f"no jobs under {_service_root(args)}")
+        return 0
+    for record in records:
+        print(record.describe())
+    return 0
+
+
+def _report_html(args) -> int:
+    """``repro report --html``: job directory, job id, or trace."""
+    from pathlib import Path
+    from repro.service.html_report import (render_trace_html,
+                                           write_job_report)
+    target = Path(args.path)
+    if not target.exists() and args.root is not None:
+        candidate = Path(_service_root(args)) / "jobs" / args.path
+        if candidate.is_dir():
+            target = candidate
+    if target.is_dir():
+        if not (target / "spec.json").is_file():
+            print(f"error: {target} is not a service job directory",
+                  file=sys.stderr)
+            return 2
+        print(f"wrote {write_job_report(target)}")
+        return 0
+    if not target.is_file():
+        print(f"error: no such trace or job: {args.path}",
+              file=sys.stderr)
+        return 2
+    out = Path(args.out) if args.out else target.with_suffix(".html")
+    from repro.common.ioutil import atomic_write_text
+    atomic_write_text(out, render_trace_html(target))
+    print(f"wrote {out}")
+    return 0
+
+
 def _command_report(args) -> int:
     """Render a trace report, or rebuild EXPERIMENTS.md when no path."""
+    if getattr(args, "html", False):
+        if not getattr(args, "path", None):
+            print("error: report --html needs a job id, job directory, "
+                  "or trace path", file=sys.stderr)
+            return 2
+        return _report_html(args)
     if getattr(args, "path", None):
         from pathlib import Path
         from repro.obs.report import render_report
@@ -438,8 +552,56 @@ def build_parser() -> argparse.ArgumentParser:
         "report", help="render a trace report, or rebuild "
                        "EXPERIMENTS.md from archived results")
     report.add_argument("path", nargs="?", default=None,
-                        help="a *.jsonl event trace (omit to rebuild "
-                             "EXPERIMENTS.md)")
+                        help="a *.jsonl event trace, or (with --html) "
+                             "a service job id / job directory (omit "
+                             "to rebuild EXPERIMENTS.md)")
+    report.add_argument("--html", action="store_true",
+                        help="write a self-contained HTML report "
+                             "instead of the terminal rendering")
+    report.add_argument("--out", default=None,
+                        help="output path for --html on a trace "
+                             "(default: alongside the trace)")
+    report.add_argument("--root", default=None,
+                        help="service root for resolving a job id "
+                             f"(default: ${_SERVICE_ROOT_ENV} or "
+                             ".repro-service)")
+
+    submit = commands.add_parser(
+        "submit", help="submit a JSON job to the campaign service")
+    submit.add_argument("kind", choices=("fuzz", "sweep", "figure"))
+    submit.add_argument("params", nargs="?", default=None,
+                        help="job parameters as a JSON object, e.g. "
+                             "'{\"budget\": 50, \"seed\": 1}'")
+    submit.add_argument("--root", default=None,
+                        help="service root directory (default: "
+                             f"${_SERVICE_ROOT_ENV} or .repro-service)")
+
+    work = commands.add_parser(
+        "work", help="run one service worker (start several for a "
+                     "fleet; hosts may share the root)")
+    work.add_argument("--root", default=None)
+    work.add_argument("--worker-id", default=None,
+                      help="override the hostname-pid worker id")
+    work.add_argument("--lease-ttl", type=float, default=30.0,
+                      help="seconds without a heartbeat before a "
+                           "dead worker's lease is reclaimed")
+    work.add_argument("--poll", type=float, default=0.5,
+                      help="idle polling interval in seconds")
+    work.add_argument("--once", action="store_true",
+                      help="process a single item, then exit")
+    work.add_argument("--until-idle", action="store_true",
+                      help="exit when no work is pending or in flight")
+    work.add_argument("--max-items", type=int, default=None,
+                      help="exit after this many items")
+
+    status = commands.add_parser("status",
+                                 help="show one service job's state")
+    status.add_argument("job", help="job id (see 'repro jobs')")
+    status.add_argument("--root", default=None)
+
+    jobs_cmd = commands.add_parser("jobs",
+                                   help="list the service's jobs")
+    jobs_cmd.add_argument("--root", default=None)
 
     trace = commands.add_parser(
         "trace", help="generate a trace bundle, or (with a .jsonl PATH "
@@ -491,6 +653,10 @@ def main(argv=None) -> int:
         "report": _command_report,
         "trace": _command_trace,
         "simulate": _command_simulate,
+        "submit": _command_submit,
+        "work": _command_work,
+        "status": _command_status,
+        "jobs": _command_jobs,
     }[args.command]
     try:
         return handler(args)

@@ -42,6 +42,7 @@ from __future__ import annotations
 import base64
 import heapq
 import json
+import math
 import os
 import pickle
 import signal
@@ -61,7 +62,7 @@ from repro.obs.events import EventKind
 __all__ = [
     "CampaignError", "CampaignJournal", "CampaignPolicy",
     "CampaignResult", "RunFailure", "RunSuccess", "campaign_map",
-    "policy_from_env", "run_specs",
+    "execute_guarded", "journal_summary", "policy_from_env", "run_specs",
 ]
 
 #: Failure kinds a campaign distinguishes (``RunFailure.kind``).
@@ -116,6 +117,11 @@ def policy_from_env() -> Optional[CampaignPolicy]:
         except ValueError:
             raise ConfigError("REPRO_RUN_TIMEOUT must be a number of "
                               f"seconds, got {raw_timeout!r}") from None
+        if not math.isfinite(timeout):
+            # float() happily parses "inf" and "nan"; a NaN deadline
+            # would silently disable the parent's SIGKILL backstop.
+            raise ConfigError("REPRO_RUN_TIMEOUT must be a finite number "
+                              f"of seconds, got {raw_timeout!r}")
         if timeout <= 0:
             raise ConfigError("REPRO_RUN_TIMEOUT must be positive, got "
                               f"{raw_timeout!r}")
@@ -327,6 +333,53 @@ class CampaignJournal:
         self.close()
 
 
+def journal_summary(journal_path) -> Dict[str, Any]:
+    """Progress summary for a journal, torn-checkpoint tolerant.
+
+    Prefers the atomic ``<name>.checkpoint.json`` sibling (cheap: no
+    payload decoding); a checkpoint that is missing, truncated mid-write
+    (copied while being replaced, or damaged by the filesystem), or
+    decodes to the wrong shape falls back to replaying the journal --
+    the same guard the journal itself applies to a torn trailing line.
+    The fallback marks the summary with ``"recovered": True``.
+    """
+    journal_path = Path(journal_path)
+    checkpoint = journal_path.with_name(
+        journal_path.name + ".checkpoint.json")
+    try:
+        summary = json.loads(checkpoint.read_text(encoding="utf-8"))
+        if isinstance(summary, dict) and "committed" in summary:
+            return summary
+    except (OSError, ValueError):
+        pass                            # torn/corrupt: replay instead
+    counts: Dict[str, int] = {}
+    meta: Dict[str, Any] = {}
+    if journal_path.exists():
+        with journal_path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    break               # torn tail: same rule as _load
+                kind = record.get("kind")
+                if kind == "meta":
+                    meta.update({key: value
+                                 for key, value in record.items()
+                                 if key != "kind"})
+                    continue
+                counts[kind] = counts.get(kind, 0) + 1
+    return {
+        "journal": journal_path.name,
+        "committed": counts.get("run_ok", 0),
+        "counts": counts,
+        "meta": meta,
+        "recovered": True,
+    }
+
+
 # ----------------------------------------------------------------------
 # Guarded execution (shared by the serial path and the workers)
 # ----------------------------------------------------------------------
@@ -334,7 +387,7 @@ class _RunTimeout(BaseException):
     # BaseException deliberately: the run under execution (oracle,
     # runner) may catch-and-record ``Exception`` as part of its own
     # contract, and a timeout must never be swallowed into a result --
-    # only ``_execute_guarded`` may catch it.
+    # only ``execute_guarded`` may catch it.
     pass
 
 
@@ -347,11 +400,13 @@ def _alarm_available() -> bool:
             and threading.current_thread() is threading.main_thread())
 
 
-def _execute_guarded(fn, item, timeout: Optional[float]) -> tuple:
+def execute_guarded(fn, item, timeout: Optional[float]) -> tuple:
     """Run ``fn(item)`` with a self-armed deadline; never raises.
 
     Returns ``("ok", value)`` or
     ``("err", kind, error_type, message, traceback, transient)``.
+    Shared by the campaign executor's serial path, its one-attempt
+    workers, and the service worker fleet (:mod:`repro.service.worker`).
     """
     armed = False
     if timeout and _alarm_available():
@@ -375,7 +430,7 @@ def _execute_guarded(fn, item, timeout: Optional[float]) -> tuple:
 def _task_entry(fn, item, index: int, attempt: int,
                 timeout: Optional[float], queue) -> None:
     """Worker body: one attempt of one run, result shipped by queue."""
-    queue.put((index, attempt, _execute_guarded(fn, item, timeout)))
+    queue.put((index, attempt, execute_guarded(fn, item, timeout)))
 
 
 # ----------------------------------------------------------------------
@@ -488,7 +543,7 @@ def _run_serial(fn, items, keys, pending, policy, journal, bus,
         attempt = 0
         while True:
             attempt += 1
-            result = _execute_guarded(fn, items[index],
+            result = execute_guarded(fn, items[index],
                                       policy.run_timeout)
             if result[0] == "ok":
                 _finalize(outcomes, journal, bus, keys, index,

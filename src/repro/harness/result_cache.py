@@ -14,9 +14,13 @@ Two tiers:
 
 * in-process memoization (always on), so the reference/baseline
   configurations shared by fig17-fig27 are simulated once per session;
-* an optional on-disk tier under ``REPRO_CACHE_DIR`` that persists
-  detached :class:`~repro.harness.runner.RunResult` payloads across
-  sessions (pickle, atomically written).
+* an optional persistent tier behind a pluggable
+  :class:`~repro.service.store.ResultStore` backend -- a local-disk
+  directory (``REPRO_CACHE_DIR``, the historical layout) or any
+  ``REPRO_STORE`` spelling (``sqlite:<path>`` for a fleet-shared
+  single-file database) -- that persists detached
+  :class:`~repro.harness.runner.RunResult` payloads across sessions and
+  across users submitting through :mod:`repro.service`.
 """
 
 from __future__ import annotations
@@ -24,8 +28,6 @@ from __future__ import annotations
 import enum
 import hashlib
 import os
-import pickle
-import tempfile
 import warnings
 from dataclasses import fields, is_dataclass
 from pathlib import Path
@@ -33,6 +35,8 @@ from typing import Dict, Optional
 
 from repro.common.config import SystemConfig, resolve_kernel
 from repro.harness.runner import RunResult
+from repro.service.store import (DiskResultStore, ResultStore,
+                                 store_from_env)
 from repro.workloads.trace import Workload
 
 _CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -74,45 +78,45 @@ def run_key(config: SystemConfig, workload: Workload, **extra) -> str:
 
 
 class ResultCache:
-    """Memoizes detached run results in memory and optionally on disk."""
+    """Memoizes detached run results in memory and optionally in a
+    persistent :class:`~repro.service.store.ResultStore` backend.
 
-    def __init__(self, directory: Optional[os.PathLike] = None) -> None:
+    ``directory`` keeps the historical constructor: it selects the
+    local-disk backend with the layout ``REPRO_CACHE_DIR`` has always
+    used. ``store`` accepts any backend directly (the service passes a
+    shared sqlite or disk store here).
+    """
+
+    def __init__(self, directory: Optional[os.PathLike] = None,
+                 store: Optional[ResultStore] = None) -> None:
+        if store is None and directory is not None:
+            store = DiskResultStore(directory)
         self._memo: Dict[str, RunResult] = {}
-        self.directory = Path(directory) if directory else None
+        self.store = store
+        self.directory = (Path(directory) if directory
+                          else getattr(store, "directory", None))
         self.hits = 0
         self.misses = 0
-        #: Disk publishes dropped by OSError (disk full, permissions).
-        #: The in-memory tier still memoizes; a nonzero count means the
-        #: campaign is running without cross-session persistence.
+        #: Store publishes dropped by OSError (disk full, permissions,
+        #: a locked database). The in-memory tier still memoizes; a
+        #: nonzero count means the campaign is running without
+        #: cross-session persistence.
         self.dropped_puts = 0
         self._warned_dropped = False
 
     def __len__(self) -> int:
         return len(self._memo)
 
-    def _path(self, key: str) -> Path:
-        assert self.directory is not None
-        return self.directory / f"{key}.pkl"
-
     def get(self, key: str) -> Optional[RunResult]:
         result = self._memo.get(key)
-        if result is None and self.directory is not None:
-            path = self._path(key)
-            if path.is_file():
-                try:
-                    with path.open("rb") as handle:
-                        result = pickle.load(handle)
-                except Exception:
-                    # Corrupt/partial/stale file: recompute. Decoding a
-                    # damaged pickle can raise nearly anything
-                    # (UnpicklingError, ValueError, EOFError, ...).
-                    result = None
-                if not isinstance(result, RunResult):
-                    # A damaged pickle can also decode "successfully"
-                    # into the wrong object; treat that as a miss too.
-                    result = None
-                else:
-                    self._memo[key] = result
+        if result is None and self.store is not None:
+            result = self.store.get(key)
+            if not isinstance(result, RunResult):
+                # A damaged entry can decode "successfully" into the
+                # wrong object; treat that as a miss too.
+                result = None
+            else:
+                self._memo[key] = result
         if result is None:
             self.misses += 1
             return None
@@ -124,34 +128,23 @@ class ResultCache:
     def put(self, key: str, result: RunResult) -> None:
         detached = result.detached()
         self._memo[key] = detached
-        if self.directory is not None:
-            temp = None
+        if self.store is not None:
             try:
-                self.directory.mkdir(parents=True, exist_ok=True)
-                # Atomic publish: never expose a half-written pickle.
-                fd, temp = tempfile.mkstemp(dir=self.directory,
-                                            suffix=".tmp")
-                with os.fdopen(fd, "wb") as handle:
-                    pickle.dump(detached, handle,
-                                protocol=pickle.HIGHEST_PROTOCOL)
-                os.replace(temp, self._path(key))
+                self.store.put(key, detached)
             except OSError as exc:
-                if temp is not None:
-                    try:
-                        os.unlink(temp)
-                    except OSError:
-                        pass
-                # A full disk must not kill the campaign, but it must
-                # not be silent either: without disk publishes every
-                # future session re-simulates from scratch.
+                # A full disk (or wedged database) must not kill the
+                # campaign, but it must not be silent either: without
+                # store publishes every future session re-simulates
+                # from scratch.
                 self.dropped_puts += 1
                 if not self._warned_dropped:
                     self._warned_dropped = True
                     warnings.warn(
                         f"result cache cannot write to "
-                        f"{self.directory}: {exc!r}; disk memoization "
-                        f"is disabled for the affected entries "
-                        f"(further drops counted in dropped_puts)",
+                        f"{self.store.describe()}: {exc!r}; persistent "
+                        f"memoization is disabled for the affected "
+                        f"entries (further drops counted in "
+                        f"dropped_puts)",
                         RuntimeWarning, stacklevel=2)
 
     def clear(self) -> None:
@@ -163,20 +156,38 @@ class ResultCache:
 
 
 _session: Optional[ResultCache] = None
+_session_spec: Optional[str] = None
+
+
+def _env_spec() -> Optional[str]:
+    """The persistent-backend spelling the environment selects."""
+    store = os.environ.get("REPRO_STORE")
+    if store and store.strip():
+        return store.strip()
+    return os.environ.get(_CACHE_DIR_ENV) or None
 
 
 def session_cache() -> ResultCache:
-    """The process-wide cache (disk-backed iff ``REPRO_CACHE_DIR`` set)."""
-    global _session
-    directory = os.environ.get(_CACHE_DIR_ENV) or None
-    if _session is None or (
-            (_session.directory and str(_session.directory) or None)
-            != directory):
-        _session = ResultCache(directory)
+    """The process-wide cache.
+
+    Persistent iff the environment names a backend: ``REPRO_STORE``
+    (``sqlite:<path>`` or a directory) takes precedence over the
+    historical ``REPRO_CACHE_DIR`` (always a local-disk directory).
+    """
+    global _session, _session_spec
+    spec = _env_spec()
+    if _session is None or _session_spec != spec:
+        store = store_from_env()
+        if store is None and spec is not None:
+            _session = ResultCache(spec)
+        else:
+            _session = ResultCache(store=store)
+        _session_spec = spec
     return _session
 
 
 def reset_session_cache() -> None:
     """Drop the process-wide cache (tests, scale changes mid-process)."""
-    global _session
+    global _session, _session_spec
     _session = None
+    _session_spec = None

@@ -79,6 +79,8 @@ _CAMPAIGN_KINDS = (
     (EventKind.RUN_TIMEOUT.value, "timeouts"),
     (EventKind.WORKER_DEATH.value, "worker deaths"),
     (EventKind.RESUME_SKIP.value, "resume skips"),
+    (EventKind.LEASE_RECLAIM.value, "lease reclaims"),
+    (EventKind.STORE_HIT.value, "store hits"),
 )
 
 

@@ -1,0 +1,326 @@
+"""Self-contained HTML experiment reports (``repro report --html``).
+
+One HTML file per job (or per event trace), with **zero external
+references**: styling is an inline ``<style>`` block, charts are inline
+SVG, and there are no scripts, fonts, images, or fetches of any kind --
+the file renders identically from a mail attachment, an artifact
+store, or ``file://``. CI pins this property (no ``http(s)://``, no
+``<script src``, no ``<link``).
+
+Two entry points:
+
+* :func:`render_job_html` / :func:`write_job_report` -- the fleet's
+  per-job report: spec, verdict, per-run outcome table (with worker
+  attribution from the operational events log), and the campaign-health
+  section (retries, timeouts, lease reclaims, store hits) next to the
+  DEV-verdict summary the paper's headline property demands.
+* :func:`render_trace_html` -- an HTML rendering of the terminal
+  ``repro report`` for a JSONL event trace, including inline-SVG
+  sparklines from the ``*.timeseries.json`` sibling when present.
+"""
+
+from __future__ import annotations
+
+import html
+import json
+import pickle
+from collections import Counter
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.common.ioutil import atomic_write_text
+
+_STYLE = """
+body { font-family: -apple-system, 'Segoe UI', Roboto, sans-serif;
+       margin: 2rem auto; max-width: 60rem; color: #1a1a2e;
+       line-height: 1.45; }
+h1 { font-size: 1.4rem; border-bottom: 2px solid #1a1a2e;
+     padding-bottom: .3rem; }
+h2 { font-size: 1.05rem; margin-top: 1.6rem; }
+table { border-collapse: collapse; width: 100%; font-size: .85rem; }
+th, td { text-align: left; padding: .25rem .6rem;
+         border-bottom: 1px solid #ddd; }
+th { background: #f0f0f5; }
+tr.bad td { background: #fdecec; }
+tr.miss td { background: #fff7e0; }
+code { background: #f0f0f5; padding: 0 .25rem; border-radius: 3px;
+       font-size: .85em; }
+.badge { display: inline-block; padding: .1rem .55rem;
+         border-radius: .8rem; color: #fff; font-size: .8rem;
+         vertical-align: middle; }
+.badge.done, .badge.ok { background: #2e7d32; }
+.badge.failed { background: #c62828; }
+.badge.partial, .badge.running, .badge.queued { background: #ef6c00; }
+.kv { color: #555; font-size: .85rem; }
+pre { background: #f7f7fa; padding: .7rem; overflow-x: auto;
+      font-size: .8rem; border-radius: 4px; }
+svg { vertical-align: middle; }
+.health { display: flex; flex-wrap: wrap; gap: .6rem 1.6rem;
+          font-size: .85rem; }
+.health b { font-size: 1.1rem; }
+"""
+
+#: (event/journal kind, label) pairs shown in the health section --
+#: the HTML twin of ``repro.obs.report._CAMPAIGN_KINDS``.
+_HEALTH_KINDS = (
+    ("run_ok", "committed runs"),
+    ("run_failure", "failed runs"),
+    ("run_retry", "retries"),
+    ("run_timeout", "timeouts"),
+    ("worker_death", "worker deaths"),
+    ("lease_reclaim", "lease reclaims"),
+    ("store_hit", "store hits"),
+)
+
+
+def _esc(value) -> str:
+    return html.escape(str(value), quote=True)
+
+
+def _page(title: str, body: List[str]) -> str:
+    return ("<!doctype html>\n<html lang=\"en\"><head>"
+            "<meta charset=\"utf-8\">"
+            f"<title>{_esc(title)}</title>"
+            f"<style>{_STYLE}</style></head>\n<body>\n"
+            + "\n".join(body) + "\n</body></html>\n")
+
+
+def _badge(state: str) -> str:
+    css = state if state in ("done", "failed", "partial", "running",
+                             "queued", "ok") else "partial"
+    return f"<span class=\"badge {css}\">{_esc(state)}</span>"
+
+
+def _kv_table(pairs: Sequence[Tuple[str, Any]]) -> str:
+    rows = "".join(f"<tr><td class=\"kv\">{_esc(key)}</td>"
+                   f"<td>{_esc(value)}</td></tr>"
+                   for key, value in pairs)
+    return f"<table>{rows}</table>"
+
+
+def _svg_sparkline(values: Sequence[float], width: int = 360,
+                   height: int = 36) -> str:
+    """An inline-SVG polyline; the HTML twin of the ASCII sparkline."""
+    if not values:
+        return ""
+    top = max(values) or 1.0
+    step = width / max(1, len(values) - 1)
+    points = " ".join(
+        f"{index * step:.1f},"
+        f"{height - 2 - (value / top) * (height - 4):.1f}"
+        for index, value in enumerate(values))
+    return (f"<svg width=\"{width}\" height=\"{height}\" "
+            f"viewBox=\"0 0 {width} {height}\">"
+            f"<polyline fill=\"none\" stroke=\"#3949ab\" "
+            f"stroke-width=\"1.5\" points=\"{points}\"/></svg>")
+
+
+def _load_jsonl(path: Path) -> List[dict]:
+    records = []
+    try:
+        with path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    records.append(json.loads(line))
+                except json.JSONDecodeError:
+                    break               # torn tail
+    except OSError:
+        pass
+    return records
+
+
+# ----------------------------------------------------------------------
+# Payload description (duck-typed across job kinds)
+# ----------------------------------------------------------------------
+def _describe_payload(payload) -> Tuple[bool, str, int]:
+    """(ok, detail, dev_invalidations) for any committed payload."""
+    if payload is None:
+        return False, "missing", 0
+    if hasattr(payload, "ok") and hasattr(payload, "model"):
+        # verify.oracle.Outcome
+        devs = getattr(payload, "dev_invalidations", 0)
+        detail = ("passed" if payload.ok else
+                  f"{getattr(payload, 'error_type', '')}: "
+                  f"{getattr(payload, 'error', '')} "
+                  f"@step {getattr(payload, 'failing_step', '?')}")
+        return bool(payload.ok), detail, devs
+    stats = getattr(payload, "stats", None)
+    if stats is not None:               # harness RunResult
+        return True, (f"{getattr(stats, 'total_cycles', 0):,} cycles"),\
+            getattr(stats, "dev_invalidations", 0)
+    if isinstance(payload, dict):       # figure table
+        return True, (f"{payload.get('title', 'table')}: "
+                      f"{len(payload.get('rows', []))} rows"), 0
+    return True, type(payload).__name__, 0
+
+
+# ----------------------------------------------------------------------
+# Job reports
+# ----------------------------------------------------------------------
+def _worker_attribution(events: Sequence[dict]
+                        ) -> Tuple[Dict[int, str], Counter]:
+    """Map item index -> last worker that committed it, plus kind
+    totals for the health section."""
+    owners: Dict[int, str] = {}
+    kinds: Counter = Counter()
+    for record in events:
+        kind = record.get("kind", "?")
+        kinds[kind] += 1
+        step = record.get("step")
+        if kind == "run_ok" and step is not None:
+            owners[step] = record.get("worker", "?")
+    return owners, kinds
+
+
+def render_job_html(job_dir) -> str:
+    """The self-contained report for one service job directory."""
+    job_dir = Path(job_dir)
+    job_id = job_dir.name
+    spec = _read_json(job_dir / "spec.json") or {}
+    state = _read_json(job_dir / "state.json") or {}
+    summary = _read_json(job_dir / "summary.json") or {}
+    events = _load_jsonl(job_dir / "events.jsonl")
+    owners, kinds = _worker_attribution(events)
+    items = state.get("items", 0)
+
+    body = [f"<h1>{_esc(job_id)} {_badge(state.get('state', '?'))}</h1>"]
+    pairs = [("kind", spec.get("kind", "?"))]
+    pairs += sorted((spec.get("params") or {}).items())
+    pairs.append(("items", items))
+    body.append("<h2>Spec</h2>")
+    body.append(_kv_table(pairs))
+
+    body.append("<h2>Fleet health</h2>")
+    cells = "".join(
+        f"<div><b>{kinds.get(kind, 0)}</b> {_esc(label)}</div>"
+        for kind, label in _HEALTH_KINDS)
+    body.append(f"<div class=\"health\">{cells}</div>")
+
+    rows, devs_total, ok_runs = [], 0, 0
+    for index in range(items):
+        payload = _load_payload(job_dir / "runs" / f"{index:05d}.pkl")
+        fail = _read_json(job_dir / "runs" / f"{index:05d}.fail.json")
+        if payload is not None:
+            ok, detail, devs = _describe_payload(payload)
+            devs_total += devs
+            ok_runs += int(ok)
+            css = "" if ok else "bad"
+            status = "ok" if ok else "diverged"
+        elif fail is not None:
+            detail = (f"{fail.get('kind', 'failure')} after "
+                      f"{fail.get('attempts', '?')} attempt(s): "
+                      f"{fail.get('error', '')}")
+            css, status = "bad", "lost"
+        else:
+            detail, css, status = "not yet executed", "miss", "pending"
+        worker = owners.get(index, fail.get("worker", "") if fail else "")
+        rows.append(
+            f"<tr class=\"{css}\"><td>{index}</td>"
+            f"<td>{_badge(status) if css != 'miss' else _esc(status)}</td>"
+            f"<td><code>{_esc(worker)}</code></td>"
+            f"<td>{_esc(detail)}</td></tr>")
+    body.append("<h2>Runs</h2>")
+    body.append("<table><tr><th>#</th><th>status</th><th>worker</th>"
+                "<th>detail</th></tr>" + "".join(rows) + "</table>")
+
+    body.append("<h2>DEV verdict</h2>")
+    if devs_total == 0 and ok_runs:
+        body.append(f"<p>{_badge('ok')} ZERO directory-eviction "
+                    f"victims across {ok_runs} completed run(s).</p>")
+    elif devs_total:
+        body.append(f"<p>{_badge('failed')} {devs_total:,} DEV-caused "
+                    "private-cache invalidations recorded.</p>")
+    else:
+        body.append("<p>No completed runs to judge yet.</p>")
+
+    if summary.get("text"):
+        body.append("<h2>Summary</h2>")
+        body.append(f"<pre>{_esc(summary['text'])}</pre>")
+    return _page(f"repro job {job_id}", body)
+
+
+def write_job_report(job_dir) -> Path:
+    """Render and atomically publish ``<job_dir>/report.html``."""
+    job_dir = Path(job_dir)
+    path = job_dir / "report.html"
+    atomic_write_text(path, render_job_html(job_dir))
+    return path
+
+
+# ----------------------------------------------------------------------
+# Trace reports
+# ----------------------------------------------------------------------
+def render_trace_html(trace_path) -> str:
+    """HTML rendering of one JSONL event trace (``repro report``)."""
+    from repro.obs.report import summarize
+    from repro.obs.trace import timeseries_path_for
+    trace_path = Path(trace_path)
+    summary = summarize(trace_path)
+    meta = summary["meta"]
+    body = [f"<h1>{_esc(trace_path.name)}</h1>"]
+    if meta:
+        body.append(_kv_table([(key, meta[key]) for key in
+                               ("workload", "protocol", "n_cores",
+                                "epoch_accesses") if key in meta]))
+    campaign = summary["campaign"]
+    devs = summary["dev_invalidations"]
+    body.append("<h2>Verdict</h2>")
+    if campaign is not None:
+        failed = campaign.get("run_failure", 0)
+        body.append(f"<p>{_badge('ok' if not failed else 'failed')} "
+                    + _esc("campaign healthy (all runs committed)"
+                           if not failed else
+                           f"{failed} unresolved run failure(s)")
+                    + "</p>")
+        cells = "".join(
+            f"<div><b>{campaign.get(kind, 0)}</b> {_esc(label)}</div>"
+            for kind, label in _HEALTH_KINDS if kind in campaign)
+        body.append(f"<div class=\"health\">{cells}</div>")
+    else:
+        body.append(f"<p>{_badge('ok' if devs == 0 else 'failed')} "
+                    + _esc("ZERO directory-eviction victims"
+                           if devs == 0 else
+                           f"{devs:,} DEV-caused invalidations") + "</p>")
+    body.append("<h2>Event totals</h2>")
+    kind_rows = "".join(
+        f"<tr><td><code>{_esc(kind)}</code></td>"
+        f"<td>{count:,}</td></tr>"
+        for kind, count in sorted(summary["kinds"].items(),
+                                  key=lambda item: -item[1]))
+    body.append("<table><tr><th>kind</th><th>count</th></tr>"
+                + kind_rows + "</table>")
+    series_path = timeseries_path_for(trace_path)
+    if series_path.is_file():
+        series = _read_json(series_path) or {}
+        gauges = series.get("gauges", [])
+        charts = []
+        for gauge in ("spilled_entries", "fused_entries",
+                      "corrupted_blocks", "dir_occupancy", "mpki"):
+            values = [float(sample.get(gauge, 0)) for sample in gauges]
+            if any(values):
+                charts.append(f"<tr><td class=\"kv\">{_esc(gauge)}"
+                              f"</td><td>peak {max(values):,.1f}</td>"
+                              f"<td>{_svg_sparkline(values)}</td></tr>")
+        if charts:
+            body.append("<h2>Time series</h2>")
+            body.append("<table>" + "".join(charts) + "</table>")
+    return _page(f"repro trace {trace_path.name}", body)
+
+
+# ----------------------------------------------------------------------
+def _read_json(path: Path) -> Optional[dict]:
+    try:
+        value = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return None
+    return value if isinstance(value, dict) else None
+
+
+def _load_payload(path: Path):
+    try:
+        return pickle.loads(path.read_bytes())
+    except Exception:                  # noqa: BLE001 - view layer only
+        return None

@@ -1,0 +1,197 @@
+"""Filesystem-backed work queue with heartbeat leases.
+
+The fleet's coordination primitive. One queue directory is shared by
+every worker on every host (any filesystem with POSIX ``rename``
+semantics works -- local disk, NFS); each pending run of each job is one
+small JSON file, and all state transitions are atomic renames:
+
+* ``<job>.<index>.todo`` -- pending. Any worker may *claim* it by
+  renaming it to ``.lease``; ``rename`` succeeds for exactly one
+  claimant, so no lock is needed.
+* ``<job>.<index>.lease`` -- claimed. The owner renews the lease by
+  touching the file's mtime (a heartbeat thread, several times per
+  TTL); it releases the lease by deleting the file after the run's
+  payload is durably committed.
+* **Expiry** -- a lease whose mtime is older than the TTL belongs to a
+  worker that stopped heartbeating (SIGKILLed, wedged past its own
+  timeout, unplugged host). Any worker may *reclaim* it: an atomic
+  rename to a private temp name elects the single reclaimer, which
+  re-enqueues the item with its reclaim count bumped. Re-execution is
+  safe because the simulator is deterministic and payload commits are
+  atomic and idempotent.
+
+The claim-side duplicate guard (a reclaimed item whose payload actually
+landed before its previous owner died) lives in the worker: it checks
+for a committed payload right after claiming and releases instead of
+re-executing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import List, Optional
+
+from repro.common.ioutil import atomic_write_text
+
+#: Default seconds without a heartbeat before a lease is reclaimable.
+DEFAULT_TTL = 30.0
+
+
+@dataclass(frozen=True)
+class QueueItem:
+    """One unit of leased work: a single run of a single job."""
+
+    job: str
+    index: int
+    key: str
+    attempt: int = 1
+    reclaims: int = 0
+    #: The on-disk lease file while claimed (set by :meth:`LeaseQueue.claim`).
+    path: Optional[Path] = field(default=None, compare=False)
+
+    def body(self) -> str:
+        return json.dumps({"job": self.job, "index": self.index,
+                           "key": self.key, "attempt": self.attempt,
+                           "reclaims": self.reclaims}) + "\n"
+
+    @classmethod
+    def from_body(cls, text: str, path: Optional[Path] = None
+                  ) -> "QueueItem":
+        record = json.loads(text)
+        return cls(record["job"], record["index"], record["key"],
+                   record.get("attempt", 1), record.get("reclaims", 0),
+                   path)
+
+
+class LeaseQueue:
+    """The shared todo/lease directory (see module docstring)."""
+
+    def __init__(self, directory, ttl: float = DEFAULT_TTL) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.ttl = float(ttl)
+
+    # -- naming --------------------------------------------------------
+    def _stem(self, job: str, index: int) -> str:
+        return f"{job}.{index:05d}"
+
+    def todo_path(self, job: str, index: int) -> Path:
+        return self.directory / (self._stem(job, index) + ".todo")
+
+    # -- enqueue -------------------------------------------------------
+    def enqueue(self, item: QueueItem) -> None:
+        """Publish one pending item (atomic: no claimant ever reads a
+        half-written body)."""
+        atomic_write_text(self.todo_path(item.job, item.index),
+                          item.body())
+
+    # -- claim / heartbeat / release ----------------------------------
+    def claim(self) -> Optional[QueueItem]:
+        """Atomically claim the first pending item, or ``None``.
+
+        Items are scanned in sorted order (job id, then item index), so
+        idle fleets drain jobs in submission-stable order.
+        """
+        for todo in sorted(self.directory.glob("*.todo")):
+            lease = todo.with_suffix(".lease")
+            try:
+                os.rename(todo, lease)
+            except OSError:
+                continue                # another worker won the rename
+            try:
+                item = QueueItem.from_body(
+                    lease.read_text(encoding="utf-8"), lease)
+            except (OSError, ValueError, KeyError):
+                # Unreadable body (should not happen: enqueue is
+                # atomic). Drop the file rather than wedge the queue.
+                try:
+                    lease.unlink()
+                except OSError:
+                    pass
+                continue
+            os.utime(lease)             # the claim is the first heartbeat
+            return item
+        return None
+
+    def heartbeat(self, item: QueueItem) -> None:
+        """Renew the lease; OSError means the lease was reclaimed."""
+        if item.path is not None:
+            os.utime(item.path)
+
+    def release(self, item: QueueItem) -> None:
+        """Drop a lease after its payload committed (idempotent)."""
+        if item.path is None:
+            return
+        try:
+            item.path.unlink()
+        except OSError:
+            pass                        # reclaimed already: harmless
+
+    def requeue(self, item: QueueItem, bump_attempt: bool = True) -> None:
+        """Put a claimed item back (retry): todo first, lease after.
+
+        Ordering matters: publishing the ``.todo`` before unlinking the
+        ``.lease`` means a crash in between leaves a duplicate, never a
+        lost item -- and duplicates are collapsed by the worker's
+        committed-payload check after claim.
+        """
+        attempt = item.attempt + 1 if bump_attempt else item.attempt
+        self.enqueue(replace(item, attempt=attempt, path=None))
+        self.release(item)
+
+    # -- expiry --------------------------------------------------------
+    def expired_leases(self, now: Optional[float] = None) -> List[Path]:
+        """Leases whose owner has not heartbeat within the TTL."""
+        now = time.time() if now is None else now
+        stale = []
+        for lease in sorted(self.directory.glob("*.lease")):
+            try:
+                if now - lease.stat().st_mtime > self.ttl:
+                    stale.append(lease)
+            except OSError:
+                continue                # released/reclaimed underneath us
+        return stale
+
+    def reclaim(self, lease: Path) -> Optional[QueueItem]:
+        """Atomically take over one expired lease and re-enqueue it.
+
+        Returns the re-enqueued item, or ``None`` when another worker
+        (or the original owner's release) got there first. The reclaim
+        count is bumped so the worker can fail a poison item that kills
+        every worker that touches it.
+        """
+        takeover = lease.with_name(
+            lease.name + f".reclaim{os.getpid()}")
+        try:
+            os.rename(lease, takeover)
+        except OSError:
+            return None
+        try:
+            item = QueueItem.from_body(
+                takeover.read_text(encoding="utf-8"))
+        except (OSError, ValueError, KeyError):
+            item = None
+        if item is not None:
+            item = replace(item, reclaims=item.reclaims + 1)
+            self.enqueue(item)
+        try:
+            takeover.unlink()
+        except OSError:
+            pass
+        return item
+
+    # -- introspection -------------------------------------------------
+    def pending(self, job: Optional[str] = None) -> int:
+        """Count of todo + lease files (optionally one job's)."""
+        prefix = f"{job}." if job is not None else ""
+        return sum(1 for path in self.directory.iterdir()
+                   if path.name.startswith(prefix)
+                   and (path.suffix in (".todo", ".lease")))
+
+    def idle(self) -> bool:
+        """True when no work is pending or in flight anywhere."""
+        return self.pending() == 0

@@ -145,6 +145,114 @@ class FuzzReport:
         return len(self.harness_failures)
 
 
+@dataclass
+class CampaignPlan:
+    """The deterministic (trace x model) grid one campaign executes.
+
+    Shared by :func:`run_campaign` (in-process execution via
+    ``campaign_map``) and the job service (item-granular execution by a
+    worker fleet): both sides derive the *same* run order, run keys, and
+    fold, so a service job's report is bit-identical to an in-process
+    campaign over the same spec.
+    """
+
+    seed: int
+    budget: int
+    specs: List[ModelSpec]
+    traces: List[FuzzTrace]
+    check_every: int = 1
+    steps_per_trace: int = 48
+    fault: Optional[FaultPlan] = None
+
+    def __len__(self) -> int:
+        return len(self.traces) * len(self.specs)
+
+    @property
+    def keys(self) -> List[str]:
+        """Run keys in execution order (trace-major, model-minor)."""
+        return [f"t{trace_index:04d}:{spec.name}"
+                for trace_index in range(len(self.traces))
+                for spec in self.specs]
+
+    def job(self, position: int) -> Tuple[ModelSpec, FuzzTrace]:
+        """The (model, trace) pair at one flat position."""
+        trace_index, spec_index = divmod(position, len(self.specs))
+        return self.specs[spec_index], self.traces[trace_index]
+
+    def run_one(self, position: int) -> Outcome:
+        """Execute the single run at ``position`` (service workers)."""
+        spec, trace = self.job(position)
+        return run_trace(spec, trace, check_every=self.check_every,
+                         fault=self.fault)
+
+
+def plan_campaign(seed: int, budget: int,
+                  models: Optional[Sequence[ModelSpec]] = None,
+                  check_every: int = 1, steps_per_trace: int = 48,
+                  fault: Optional[FaultPlan] = None) -> CampaignPlan:
+    """Materialize the deterministic grid for one campaign spec."""
+    specs = _models_for(fault, models)
+    geometry = TraceGeometry.of(micro_config())
+    generator = TraceGenerator(geometry, seed,
+                               steps_per_trace=steps_per_trace)
+    traces = [generator.trace(index) for index in range(budget)]
+    return CampaignPlan(seed, budget, specs, traces,
+                        check_every=check_every,
+                        steps_per_trace=steps_per_trace, fault=fault)
+
+
+def build_report(plan: CampaignPlan) -> FuzzReport:
+    """An empty report carrying the plan's identity."""
+    return FuzzReport(plan.seed, plan.budget,
+                      tuple(spec.name for spec in plan.specs),
+                      fault=(None if plan.fault is None
+                             else plan.fault.kind.value))
+
+
+def fold_flat(report: FuzzReport, plan: CampaignPlan,
+              flat: Sequence[Optional[Outcome]]) -> FuzzReport:
+    """Fold flat per-run outcomes (plan order) into ``report``.
+
+    ``None`` marks a run the harness lost (crash/timeout after retries);
+    callers record those in ``report.harness_failures`` themselves, with
+    whatever attribution they have (typed :class:`RunFailure` records
+    in-process, fail-record files in the service).
+    """
+    report.traces_run = len(plan.traces)
+    per_trace: List[List[Optional[Outcome]]] = [
+        [None] * len(plan.specs) for _ in plan.traces]
+    for position, outcome in enumerate(flat):
+        trace_index, spec_index = divmod(position, len(plan.specs))
+        if outcome is not None:
+            per_trace[trace_index][spec_index] = outcome
+            report.runs += 1
+
+    for trace, trace_outcomes in zip(plan.traces, per_trace):
+        if plan.fault is not None:
+            _classify_injection(report, plan.specs, trace,
+                                trace_outcomes, plan.fault)
+            continue
+        completed = [o for o in trace_outcomes if o is not None]
+        for outcome in completed:
+            if not outcome.ok:
+                report.divergences.append(Divergence(outcome, trace))
+        digests = {o.memory_digest for o in completed if o.ok}
+        if len(digests) > 1:
+            detail = ", ".join(
+                f"{o.model}={len(o.memory_digest)} blocks"
+                for o in completed if o.ok)
+            report.digest_mismatches.append(
+                f"{trace.name}: final-memory digests disagree ({detail})")
+    return report
+
+
+def maybe_shrink(report: FuzzReport, plan: CampaignPlan,
+                 out_dir=None) -> None:
+    """ddmin-shrink the report's divergences (clean campaigns only)."""
+    if plan.fault is None:
+        _shrink_divergences(report, plan.specs, plan.check_every, out_dir)
+
+
 def _models_for(fault: Optional[FaultPlan],
                 models: Optional[Sequence[ModelSpec]]) -> List[ModelSpec]:
     matrix = list(models) if models is not None else model_matrix()
@@ -191,14 +299,10 @@ def run_campaign(seed: int, budget: int,
     ``policy`` sets per-run timeout/retry behaviour; the default retries
     transient worker deaths once and never hangs the batch on one run.
     """
-    specs = _models_for(fault, models)
-    geometry = TraceGeometry.of(micro_config())
-    generator = TraceGenerator(geometry, seed,
-                               steps_per_trace=steps_per_trace)
-    traces = [generator.trace(index) for index in range(budget)]
-    report = FuzzReport(seed, budget,
-                        tuple(spec.name for spec in specs),
-                        fault=None if fault is None else fault.kind.value)
+    plan = plan_campaign(seed, budget, models=models,
+                         check_every=check_every,
+                         steps_per_trace=steps_per_trace, fault=fault)
+    report = build_report(plan)
     policy = policy or CampaignPolicy(retries=1)
     journal = None if resume is None else CampaignJournal(resume)
     if journal is not None:
@@ -207,55 +311,33 @@ def run_campaign(seed: int, budget: int,
             campaign="fuzz", seed=seed, check_every=check_every,
             steps_per_trace=steps_per_trace,
             fault=None if fault is None else fault.kind.value,
-            models=[spec.name for spec in specs])
+            models=[spec.name for spec in plan.specs])
 
     global _ACTIVE_JOBS
     _ACTIVE_JOBS = [(spec, trace, check_every, fault)
-                    for trace in traces for spec in specs]
-    keys = [f"t{trace_index:04d}:{spec.name}"
-            for trace_index in range(len(traces)) for spec in specs]
+                    for trace in plan.traces for spec in plan.specs]
     try:
         outcomes = campaign_map(_run_job, range(len(_ACTIVE_JOBS)),
-                                keys=keys, jobs=jobs, policy=policy,
+                                keys=plan.keys, jobs=jobs, policy=policy,
                                 journal=journal, require_fork=True)
     finally:
         _ACTIVE_JOBS = []
         if journal is not None:
             journal.close()
 
-    report.traces_run = len(traces)
-    per_trace: List[List[Optional[Outcome]]] = [
-        [None] * len(specs) for _ in traces]
+    flat: List[Optional[Outcome]] = [None] * len(outcomes)
     for position, run in enumerate(outcomes):
-        trace_index, spec_index = divmod(position, len(specs))
         if isinstance(run, RunSuccess):
-            per_trace[trace_index][spec_index] = run.value
-            report.runs += 1
+            flat[position] = run.value
             report.resumed_runs += int(run.resumed)
             report.retried_runs += max(0, run.attempts - 1)
         else:
             report.harness_failures.append(str(run))
             report.retried_runs += max(0, run.attempts - 1)
+    fold_flat(report, plan, flat)
 
-    for trace, trace_outcomes in zip(traces, per_trace):
-        if fault is not None:
-            _classify_injection(report, specs, trace, trace_outcomes,
-                                fault)
-            continue
-        completed = [o for o in trace_outcomes if o is not None]
-        for outcome in completed:
-            if not outcome.ok:
-                report.divergences.append(Divergence(outcome, trace))
-        digests = {o.memory_digest for o in completed if o.ok}
-        if len(digests) > 1:
-            detail = ", ".join(
-                f"{o.model}={len(o.memory_digest)} blocks"
-                for o in completed if o.ok)
-            report.digest_mismatches.append(
-                f"{trace.name}: final-memory digests disagree ({detail})")
-
-    if fault is None and shrink:
-        _shrink_divergences(report, specs, check_every, out_dir)
+    if shrink:
+        maybe_shrink(report, plan, out_dir)
     return report
 
 

@@ -32,7 +32,8 @@ from repro.harness import parallel
 from repro.harness.campaign import (CampaignError, CampaignJournal,
                                     CampaignPolicy, RunFailure,
                                     RunSuccess, campaign_map,
-                                    policy_from_env, run_specs)
+                                    journal_summary, policy_from_env,
+                                    run_specs)
 from repro.harness.parallel import (ParallelMapError, fork_available,
                                     parallel_map, run_many,
                                     telemetry_since, telemetry_snapshot)
@@ -553,6 +554,10 @@ class TestPolicyFromEnv:
     @pytest.mark.parametrize("variable,value", [
         ("REPRO_RUN_TIMEOUT", "soon"),
         ("REPRO_RUN_TIMEOUT", "-1"),
+        # float() happily parses these; a non-finite deadline would
+        # silently disarm the parent's SIGKILL backstop.
+        ("REPRO_RUN_TIMEOUT", "inf"),
+        ("REPRO_RUN_TIMEOUT", "nan"),
         ("REPRO_RETRIES", "two"),
         ("REPRO_RETRIES", "-2"),
     ])
@@ -569,3 +574,56 @@ class TestPolicyFromEnv:
         assert policy.backoff(2) == 1.0
         assert policy.backoff(3) == 2.0
         assert policy.backoff(10) == 2.0
+
+
+class TestJournalSummary:
+    """The torn-checkpoint guard: ``journal_summary`` must survive a
+    checkpoint damaged mid-replace, exactly as the journal itself
+    survives a torn trailing line."""
+
+    def _journal_with_commits(self, tmp_path, n=3):
+        path = tmp_path / "soak.jsonl"
+        journal = CampaignJournal(path)
+        journal.ensure_meta(campaign="fuzz", seed=7)
+        for index in range(n):
+            journal.commit(f"run{index}", {"value": index})
+        journal.note("run_retry", step=1, cause="flaky")
+        journal.close()
+        return path
+
+    def test_prefers_intact_checkpoint(self, tmp_path):
+        path = self._journal_with_commits(tmp_path)
+        summary = journal_summary(path)
+        assert summary["committed"] == 3
+        assert "recovered" not in summary
+
+    @pytest.mark.parametrize("damage", [
+        "",                             # truncated to nothing
+        '{"journal": "soak.jsonl", "comm',  # torn mid-write
+        "[1, 2, 3]",                    # wrong shape entirely
+    ])
+    def test_torn_checkpoint_falls_back_to_journal(self, tmp_path,
+                                                   damage):
+        path = self._journal_with_commits(tmp_path)
+        path.with_name(path.name + ".checkpoint.json").write_text(damage)
+        summary = journal_summary(path)
+        assert summary["recovered"] is True
+        assert summary["committed"] == 3
+        assert summary["counts"]["run_retry"] == 1
+        assert summary["meta"]["campaign"] == "fuzz"
+        assert summary["meta"]["seed"] == 7
+
+    def test_missing_checkpoint_replays(self, tmp_path):
+        path = self._journal_with_commits(tmp_path)
+        path.with_name(path.name + ".checkpoint.json").unlink()
+        summary = journal_summary(path)
+        assert summary["recovered"] is True
+        assert summary["committed"] == 3
+
+    def test_torn_journal_tail_tolerated_too(self, tmp_path):
+        path = self._journal_with_commits(tmp_path)
+        path.with_name(path.name + ".checkpoint.json").unlink()
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write('{"kind": "run_ok", "key": "torn')
+        summary = journal_summary(path)
+        assert summary["committed"] == 3
