@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""CI gate: the memoized model checker is clean and still has teeth.
+
+Two assertions, mirroring the contract in PROTOCOL.md:
+
+1. **Clean matrix.** Every model of the verification matrix (all
+   ZeroDEV policy x replacement x LLC designs, the sparse baselines,
+   SecDir, MgD, and both 2-socket solutions) explores to the CI depth
+   over the micro alphabet with zero counterexamples.
+2. **The checker catches what fuzz misses.** Every seeded protocol
+   mutation from repro.verify.mutations is refuted by the frontier at
+   its documented depth, while the pinned fixed-seed, fixed-budget,
+   short-trace fuzz baseline stays green on at least one of them --
+   the coverage gap that justifies the model checker's existence.
+
+Everything is deterministic (BFS order, pinned seeds), so any failure
+is a protocol or checker regression, not noise.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.verify.modelcheck import check_matrix, mutation_gate
+
+CI_DEPTH = 4
+
+
+def main() -> int:
+    started = time.perf_counter()
+    reports = check_matrix(CI_DEPTH)
+    for report in reports:
+        print(report.summary())
+    failures = [r for r in reports if not r.ok]
+    if failures:
+        print(f"FAIL: {len(failures)} counterexample(s) at depth "
+              f"{CI_DEPTH}")
+        return 1
+    capped = [r for r in reports if r.capped]
+    if capped:
+        print(f"FAIL: {len(capped)} exploration(s) capped before depth "
+              f"{CI_DEPTH} -- raise the ceiling, the depth is the gate")
+        return 1
+
+    verdicts = mutation_gate()
+    for verdict in verdicts:
+        print(verdict.summary())
+    missed_by_modelcheck = [v.mutation for v in verdicts
+                            if not v.caught_by_modelcheck]
+    if missed_by_modelcheck:
+        print("FAIL: modelcheck missed seeded mutation(s): "
+              + ", ".join(missed_by_modelcheck))
+        return 1
+    missed_by_fuzz = [v.mutation for v in verdicts if not v.fuzz_caught]
+    if not missed_by_fuzz:
+        print("FAIL: the fixed-budget fuzz baseline caught every "
+              "mutation; the gate no longer demonstrates the coverage "
+              "gap -- seed a deeper bug")
+        return 1
+
+    print(f"OK: {len(reports)} models clean at depth {CI_DEPTH}, "
+          f"{len(verdicts)} mutations caught by modelcheck, "
+          f"{len(missed_by_fuzz)} missed by fuzz "
+          f"({', '.join(missed_by_fuzz)}) "
+          f"[{time.perf_counter() - started:.1f}s]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

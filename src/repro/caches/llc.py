@@ -31,6 +31,10 @@ class LLCBank:
 
     #: Observability seam (repro.obs): None = tracing disabled.
     obs = None
+    #: Seeded-mutation seam (repro.verify.mutations): names of armed
+    #: protocol mutations. Empty on every real run; the verify layer
+    #: arms these to prove its checkers catch the seeded bug.
+    mutations: frozenset = frozenset()
 
     def __init__(self, bank_id: int, sets: int, ways: int,
                  replacement: LLCReplacement, n_banks: int) -> None:
@@ -169,7 +173,8 @@ class LLCBank:
             # the live entry while its block stays resident (the
             # case-(iiib) hazard). Restore the entry-above-block order.
             spill = self._spill_index.get(line.block)
-            if spill is not None:
+            if spill is not None and \
+                    "drop-splru-reorder" not in self.mutations:
                 self._touch(spill)
         if self.obs is not None:
             if line.kind is LineKind.SPILLED:

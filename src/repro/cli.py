@@ -21,6 +21,15 @@ Commands
     Without: rebuild EXPERIMENTS.md from the archived benchmark tables.
 ``simulate PATH``
     Run a saved trace bundle under a chosen protocol and print stats.
+``modelcheck``
+    Memoized bounded-exhaustive model checking: a BFS snapshot frontier
+    with canonical-state dedup over the micro alphabet, across the
+    whole model matrix (or ``--models``). ``--stats`` reports unique
+    canonical states versus per-sequence replay at equal wall-clock;
+    ``--mutations`` runs the seeded-bug gate (every mutation caught by
+    modelcheck, at least one missed by the fixed-budget fuzz baseline);
+    ``--out`` saves counterexample prefixes as ``repro
+    shrink``-compatible ``.npz`` traces.
 ``fuzz``
     Differential fuzzing: seeded adversarial traces through the whole
     model matrix with per-step invariant checking; failures are ddmin-
@@ -196,6 +205,68 @@ def _verify_kernel_diff(args) -> int:
         kernels=kernels)
     print(report.summary())
     return 0 if report.ok else 1
+
+
+def _command_modelcheck(args) -> int:
+    """Memoized bounded-exhaustive checking (see PROTOCOL.md §6)."""
+    import os
+    from repro.verify.modelcheck import (MICRO_BLOCKS, check_matrix,
+                                         frontier_vs_replay,
+                                         mutation_gate)
+    from repro.verify.models import model_by_name, model_matrix
+
+    specs = (list(model_matrix()) if args.models is None
+             else [model_by_name(name.strip())
+                   for name in args.models.split(",") if name.strip()])
+    blocks = (MICRO_BLOCKS if args.blocks is None
+              else tuple(int(b, 0)
+                         for b in args.blocks.split(",") if b.strip()))
+
+    if args.mutations:
+        verdicts = mutation_gate()
+        for verdict in verdicts:
+            print(verdict.summary())
+        caught = all(v.caught_by_modelcheck for v in verdicts)
+        missed = sum(not v.fuzz_caught for v in verdicts)
+        print(f"gate: {len(verdicts)} mutations, "
+              f"{'all' if caught else 'NOT all'} caught by modelcheck, "
+              f"{missed} missed by the fuzz baseline")
+        return 0 if caught else 1
+
+    if args.stats:
+        # Replay needs several levels of headroom before memoization
+        # pays 10x, hence the deeper default.
+        depth = args.depth if args.depth is not None else 8
+        comparison = frontier_vs_replay(specs[0], depth, blocks=blocks)
+        print(comparison.summary())
+        return 0 if comparison.frontier.ok else 1
+
+    depth = args.depth if args.depth is not None else 5
+    kwargs = {}
+    if args.max_states is not None:
+        kwargs["max_states"] = args.max_states
+    reports = []
+    for spec in specs:
+        from repro.verify.modelcheck import explore_model
+        report = explore_model(spec, depth, blocks=blocks,
+                               mutation=args.mutation or "",
+                               budget_s=args.budget_s, **kwargs)
+        print(report.summary())
+        reports.append(report)
+    failures = [r for r in reports if not r.ok]
+    if args.out and failures:
+        os.makedirs(args.out, exist_ok=True)
+        for report in failures:
+            trace = report.counterexample_trace()
+            path = os.path.join(args.out, f"{trace.name}.npz")
+            trace.save(path)
+            print(f"wrote {path}")
+    total = sum(r.unique_states for r in reports)
+    checked = sum(r.transitions for r in reports)
+    print(f"{len(reports)} models: {total:,} unique states, "
+          f"{checked:,} transitions checked, "
+          f"{len(failures)} counterexample(s)")
+    return 1 if failures else 0
 
 
 #: A campaign whose completed runs are all clean but which is missing
@@ -504,6 +575,38 @@ def build_parser() -> argparse.ArgumentParser:
                         help="directory for divergent-trace .npz "
                              "reproducers (kernel-diff)")
 
+    modelcheck = commands.add_parser(
+        "modelcheck",
+        help="memoized bounded-exhaustive model checking")
+    modelcheck.add_argument("--models", default=None,
+                            help="comma-separated model names "
+                                 "(default: the whole matrix)")
+    modelcheck.add_argument("--depth", type=int, default=None,
+                            help="BFS depth over the micro alphabet "
+                                 "(default 5; 8 with --stats)")
+    modelcheck.add_argument("--blocks", default=None,
+                            help="comma-separated block alphabet "
+                                 "(default: 0,8,1)")
+    modelcheck.add_argument("--max-states", type=int, default=None,
+                            help="unique-state ceiling (default 250000)")
+    modelcheck.add_argument("--budget-s", type=float, default=None,
+                            help="wall-clock budget per model in "
+                                 "seconds (exploration caps cleanly)")
+    modelcheck.add_argument("--stats", action="store_true",
+                            help="frontier-vs-replay comparison: unique "
+                                 "canonical states at equal wall-clock "
+                                 "(one model, deeper default depth)")
+    modelcheck.add_argument("--mutations", action="store_true",
+                            help="run the seeded-bug gate: every "
+                                 "mutation through modelcheck and the "
+                                 "fixed-budget fuzz baseline")
+    modelcheck.add_argument("--mutation", default=None,
+                            help="arm one seeded bug while exploring "
+                                 "(see repro.verify.mutations)")
+    modelcheck.add_argument("--out", default=None,
+                            help="directory for counterexample .npz "
+                                 "reproducers (repro shrink compatible)")
+
     fuzz = commands.add_parser(
         "fuzz", help="differential fuzzing across the model matrix")
     fuzz.add_argument("--seed", type=int, default=0)
@@ -648,6 +751,7 @@ def main(argv=None) -> int:
         "run": _command_run,
         "demo": _command_demo,
         "verify": _command_verify,
+        "modelcheck": _command_modelcheck,
         "fuzz": _command_fuzz,
         "shrink": _command_shrink,
         "report": _command_report,

@@ -44,6 +44,11 @@ class CMPSystem:
     #: Which Protocol enum value this class implements (sanity check).
     PROTOCOL = Protocol.BASELINE
 
+    #: Seeded-mutation seam (repro.verify.mutations): names of armed
+    #: protocol mutations. Empty on every real run; the verify layer
+    #: arms these to prove its checkers catch the seeded bug.
+    mutations: frozenset = frozenset()
+
     def __init__(self, config: SystemConfig) -> None:
         self.config = config
         self.stats = SystemStats(config.n_cores)
@@ -603,7 +608,15 @@ class CMPSystem:
         bank = self.bank_of(victim.block)
         generated = False
         last_version = 0
+        leak_one = "dev-leak-sharer" in self.mutations
         for sharer in list(victim.sharer_cores()):
+            if leak_one:
+                # Seeded bug: the home drops the first sharer from the
+                # entry without sending its invalidation, leaving a
+                # live private copy the directory no longer tracks.
+                leak_one = False
+                victim.remove_sharer(sharer)
+                continue
             generated = True
             self.stats.dev_invalidations += 1
             self.stats.invalidations_sent += 1

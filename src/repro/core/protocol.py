@@ -293,6 +293,11 @@ class ZeroDEVSystem(CMPSystem):
             raise ProtocolInvariantError(
                 f"entry for block {block:#x} in unknown location")
         if location is EntryLocation.MEMORY:
+            if "skip-corrupt-restore" in self.mutations:
+                # Seeded bug: the restore message is dropped -- the entry
+                # bits stay housed in home memory (garbage marker and
+                # all) while the protocol forgets the entry existed.
+                return
             self._housing.restore(block)
         if self.memory_side is not None:
             # Multi-socket: only the home knows whether this was the

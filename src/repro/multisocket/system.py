@@ -84,6 +84,10 @@ class MultiSocketSystem:
 
     #: Observability seam (repro.obs): None = tracing disabled.
     obs = None
+    #: Seeded-mutation seam (repro.verify.mutations): names of armed
+    #: protocol mutations. Empty on every real run; the verify layer
+    #: arms these to prove its checkers catch the seeded bug.
+    mutations: frozenset = frozenset()
 
     def __init__(self, config: SystemConfig, n_sockets: int = 4,
                  dir_cache_blocks: int = 4096,
@@ -245,7 +249,12 @@ class MultiSocketSystem:
             entry.sharers = 1 << requester
             return latency, version, True
 
-        if block in self._garbage:
+        # skip-denf-nack seeded bug: a corrupted shared block is treated
+        # as a normal home-memory read, so the requester is served the
+        # garbage/stale image instead of the Figure 15 forward (the
+        # shadow oracle flags the stale load value).
+        if block in self._garbage and \
+                "skip-denf-nack" not in self.mutations:
             latency += self._forward_corrupted_read(socket, block, entry,
                                                     home_id)
             version = self._serve_from_sharer(entry, block, requester)
@@ -386,6 +395,12 @@ class MultiSocketSystem:
             return
         del self._entries[block]
         if block in self._garbage:
+            if "skip-socket-restore" in self.mutations:
+                # Seeded bug: the system-wide last copy of a corrupted
+                # block leaves and the socket-level Section III-D4
+                # restore is dropped -- home memory keeps entry bits
+                # with no sharer left to serve the block.
+                return
             # System-wide last copy of a corrupted block: retrieve it
             # from the evicting socket and heal home memory.
             self.restores += 1

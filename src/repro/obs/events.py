@@ -60,6 +60,14 @@ class EventKind(enum.Enum):
     WORKER_DEATH = "worker_death"  # worker died before delivering
     RESUME_SKIP = "resume_skip"    # journaled run replayed, not re-run
 
+    # Modelcheck frontier (repro.verify.modelcheck): emitted by the
+    # bounded-exhaustive explorer, with ``step`` carrying the BFS depth
+    # just completed. ``MC_FRONTIER``'s cause packs the level counters
+    # (``new/transitions/dedup``) so a progress sink can render the
+    # state-collapse rate live; ``MC_CEX`` marks a counterexample.
+    MC_FRONTIER = "mc_frontier"    # one completed frontier level
+    MC_CEX = "mc_cex"              # counterexample found (cause=error type)
+
     # Job service (repro.service): fleet-level health events, written to
     # a job's operational events log with ``step`` carrying the item
     # index. Reclaims are the service's worker-death signal: a lease

@@ -22,18 +22,34 @@ that claim adversarially:
 * :mod:`repro.verify.faults` -- protocol fault injection (drop/duplicate
   ``WB_DE``, drop ``GET_DE``, force ``DENF_NACK``) asserting detection
   or graceful degradation, never silent divergence.
+* :mod:`repro.verify.checks` -- the per-step structural invariant suite
+  (shared by the fuzz oracle and the model checker).
+* :mod:`repro.verify.modelcheck` -- bounded-exhaustive exploration
+  (``repro modelcheck``): a memoized snapshot frontier with canonical
+  state dedup, counterexample prefixes replayable through the shrinker.
+* :mod:`repro.verify.mutations` -- seeded protocol bugs proving the
+  checkers catch what they claim to catch.
 """
 
+from repro.verify.checks import check_step, dev_count
 from repro.verify.differential import FuzzReport, run_campaign
 from repro.verify.faults import FaultKind, FaultPlan, arm_fault
+from repro.verify.modelcheck import (ModelCheckReport, check_matrix,
+                                     explore_model, frontier_vs_replay,
+                                     mutation_gate)
 from repro.verify.models import ModelSpec, model_by_name, model_matrix
+from repro.verify.mutations import (MUTATIONS, arm_mutation,
+                                    mutant_spec, mutation_names)
 from repro.verify.oracle import Outcome, run_trace
 from repro.verify.shrink import emit_regression, shrink_trace
 from repro.verify.tracegen import FuzzTrace, TraceGenerator
 
 __all__ = [
-    "FaultKind", "FaultPlan", "FuzzReport", "FuzzTrace", "ModelSpec",
-    "Outcome", "TraceGenerator", "arm_fault", "emit_regression",
-    "model_by_name", "model_matrix", "run_campaign", "run_trace",
-    "shrink_trace",
+    "FaultKind", "FaultPlan", "FuzzReport", "FuzzTrace",
+    "MUTATIONS", "ModelCheckReport", "ModelSpec", "Outcome",
+    "TraceGenerator", "arm_fault", "arm_mutation", "check_matrix",
+    "check_step", "dev_count", "emit_regression", "explore_model",
+    "frontier_vs_replay", "model_by_name", "model_matrix",
+    "mutant_spec", "mutation_gate", "mutation_names", "run_campaign",
+    "run_trace", "shrink_trace",
 ]

@@ -1,0 +1,145 @@
+"""Per-step structural checks shared by the fuzz oracle and modelcheck.
+
+One invariant vocabulary, two drivers: :mod:`repro.verify.oracle` runs
+these after every ``check_every`` accesses of a fuzz trace, and
+:mod:`repro.verify.modelcheck` runs them on every transition of the
+bounded-exhaustive frontier.  Keeping the checks here (rather than
+private to the oracle) guarantees the two verification layers can never
+drift apart on what "structurally well-formed" means.
+
+The checks cover what the systems' own ``check_invariants`` does not:
+
+* LLC set occupancy and frame/index consistency, including the spill
+  index.
+* The spLRU ordering invariant -- a resident spilled entry sits *above*
+  (more recent than) its block so the block ages out first
+  (Section III-D1).
+* Housed-implies-garbage and the case-(iiib) ban on a block being
+  LLC-resident while its entry is housed in memory (Section III-D2).
+* The single-shared-shadow invariant for multi-socket compositions (see
+  :func:`shadow_of`).
+"""
+
+from __future__ import annotations
+
+from repro.caches.block import LineKind
+from repro.common.config import LLCReplacement
+from repro.common.errors import ProtocolInvariantError
+from repro.verify.models import ModelSpec
+
+
+class DivergenceError(ProtocolInvariantError):
+    """A model-level verification check failed (the model diverged from
+    the specified behaviour, even though no protocol assertion fired)."""
+
+
+def each_socket(spec: ModelSpec, system):
+    """The CMP systems of ``system`` (itself, or its sockets)."""
+    if spec.n_sockets == 1:
+        yield system
+    else:
+        yield from system.sockets
+
+
+def check_llc_structure(spec: ModelSpec, system) -> None:
+    """Occupancy, duplicate-frame, spill-index, and spLRU-order checks."""
+    sp_lru = spec.config.llc_replacement is LLCReplacement.SP_LRU
+    for socket in each_socket(spec, system):
+        for bank in socket.banks:
+            spilled_seen = 0
+            for set_idx in range(bank.sets):
+                frames = bank.frames_in_set(set_idx)
+                if len(frames) > bank.ways:
+                    raise DivergenceError(
+                        f"bank {bank.bank_id} set {set_idx} holds "
+                        f"{len(frames)} frames in {bank.ways} ways")
+                data_pos, spill_pos = {}, {}
+                for pos, line in enumerate(frames):
+                    bucket = (spill_pos
+                              if line.kind is LineKind.SPILLED
+                              else data_pos)
+                    if line.block in bucket:
+                        raise DivergenceError(
+                            f"duplicate {line.kind.name} frame for block "
+                            f"{line.block:#x} in bank {bank.bank_id}")
+                    bucket[line.block] = pos
+                    if line.kind is LineKind.SPILLED:
+                        spilled_seen += 1
+                        if bank.peek_spill(line.block) is not line:
+                            raise DivergenceError(
+                                f"spilled frame for block {line.block:#x} "
+                                "missing from the spill index")
+                if not sp_lru:
+                    continue
+                for block, pos in spill_pos.items():
+                    # spLRU invariant: a resident spilled entry sits
+                    # *above* (more recent than) its block, so the
+                    # block ages out first (Section III-D1).
+                    if block in data_pos and pos < data_pos[block]:
+                        raise DivergenceError(
+                            f"spLRU order inverted for block {block:#x}: "
+                            "spilled entry is older than its block")
+            if bank.spilled_count() != spilled_seen:
+                raise DivergenceError(
+                    f"bank {bank.bank_id} spill index tracks "
+                    f"{bank.spilled_count()} entries but "
+                    f"{spilled_seen} spilled frames are resident")
+
+
+def check_housing(spec: ModelSpec, system) -> None:
+    """Housed-implies-garbage and the case-(iiib) residency ban."""
+    for socket in each_socket(spec, system):
+        housing = getattr(socket, "_housing", None)
+        if housing is None:
+            continue
+        for block in housing.housed_blocks():
+            if not housing.is_garbage(block):
+                raise DivergenceError(
+                    f"block {block:#x} houses an entry but is not "
+                    "marked corrupted")
+            bank = socket.bank_of(block)
+            # Case (iiib): while the entry lives in home memory the
+            # block must not be LLC-resident (Section III-D2).
+            if bank.peek_data(block) is not None or \
+                    bank.peek_spill(block) is not None:
+                raise DivergenceError(
+                    f"block {block:#x} is LLC-resident while its entry "
+                    "is housed in memory (case iiib)")
+
+
+def check_step(spec: ModelSpec, system) -> None:
+    """The full per-step check battery: the system's own invariants plus
+    the structural checks above."""
+    system.check_invariants()
+    check_llc_structure(spec, system)
+    check_housing(spec, system)
+
+
+def dev_count(spec: ModelSpec, system) -> int:
+    """DEV-caused private invalidations accumulated so far."""
+    if spec.n_sockets == 1:
+        return system.stats.dev_invalidations
+    return sum(stats.dev_invalidations for stats in system.stats)
+
+
+def shadow_of(spec: ModelSpec, system):
+    """The shadow-memory oracle of ``system``.
+
+    Multi-socket compositions share ONE :class:`ShadowMemory` across all
+    sockets (writes commit into the global version order no matter which
+    socket retires them), so the system-level shadow *is* the merged
+    view.  That sharing is load-bearing for the cross-model
+    ``memory_digest`` equivalence, so it is pinned here as an invariant
+    rather than silently assumed: a refactor that gives sockets private
+    shadows would make socket-0's digest a lie, and this check turns
+    that into a loud failure instead.
+    """
+    if spec.n_sockets == 1:
+        return system.shadow
+    shadow = system.shadow
+    for socket in system.sockets:
+        if socket.shadow is not shadow:
+            raise DivergenceError(
+                f"socket {socket.node_id} carries a private shadow; "
+                "the multi-socket digest requires one shared shadow")
+    return shadow

@@ -1,0 +1,575 @@
+"""Memoized bounded-exhaustive model checking of the protocol core.
+
+``repro verify`` (PR 3) enumerates *access sequences*: every sequence of
+depth ``d`` over the micro alphabet is replayed on a fresh system, which
+costs ``|A|^d`` full replays even though almost all of them land in
+states some other sequence already produced.  This module enumerates
+*states* instead: a BFS over (canonical system state, pending access)
+with memoized dedup.
+
+* **Snapshots.** The simulator is deterministic plain-Python state, so a
+  frontier node is just ``pickle.dumps(system)`` (~5 KB on the micro
+  geometry).  Expanding a node unpickles the parent once per alphabet
+  symbol, applies the access, and checks the successor -- O(1) work per
+  transition regardless of depth, versus O(depth) for sequence replay.
+* **Canonicalization.** A state's identity is a blake2b digest over the
+  protocol-visible state only: private L2 lines in per-set LRU order,
+  directory entries (with NRU bits and way order), LLC frames per set in
+  LRU order with their fused/spilled entry payloads, the housing and
+  garbage maps, per-block DRAM versions, the shadow oracle, and -- for
+  multi-socket -- the socket-level entries and corrupted set.  Timing
+  state (stats, DRAM open-page tracking, the socket directory-cache LRU,
+  DirEvict bit cache) is deliberately excluded: it cannot feed back into
+  protocol decisions, so states differing only in latency bookkeeping
+  collapse into one, which is where the state-space reduction comes
+  from.  Soundness is preserved by checking every *transition* (not just
+  every new unique state): an invariant violation is observed on the
+  concrete successor before dedup can discard it.
+* **Checks.** Each transition runs the system's own ``check_invariants``
+  plus the structural battery shared with the fuzz oracle
+  (:mod:`repro.verify.checks`), and ZeroDEV models additionally assert a
+  zero DEV count after every access -- stronger than the oracle's
+  end-of-trace check.
+* **Counterexamples.** A failing transition reports its access path
+  from the initial state.  :meth:`ModelCheckReport.counterexample_trace`
+  converts it to a :class:`~repro.verify.tracegen.FuzzTrace`, so a
+  frontier counterexample replays under ``repro shrink`` and
+  ``run_trace`` exactly like a fuzz divergence.
+
+The mutation gate (:func:`mutation_gate`) runs every seeded bug from
+:mod:`repro.verify.mutations` under both this checker and a fixed-budget
+fuzz baseline, proving the frontier catches what sampling misses.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import pickle
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.coherence.exhaustive import Counterexample
+from repro.common.addressing import BLOCK_SHIFT
+from repro.common.errors import ConfigError
+from repro.obs.events import EventKind
+from repro.verify.checks import check_step, dev_count, DivergenceError
+from repro.verify.models import TRACE_CORES, ModelSpec
+from repro.verify.tracegen import FuzzTrace
+from repro.workloads.trace import Op
+
+#: The micro alphabet: two cores, two ops, and three blocks chosen so
+#: two of them (0 and 8) collide in one LLC set of bank 0 while the
+#: third lands in bank 1 -- conflict pressure plus an independent block.
+#: On two-socket models the cores map to different sockets and block
+#: homes split across sockets (``home_of = block % 2``).
+MICRO_CORES: Tuple[int, ...] = (0, 1)
+MICRO_BLOCKS: Tuple[int, ...] = (0, 8, 1)
+MICRO_OPS: Tuple[Op, ...] = (Op.READ, Op.WRITE)
+
+#: Unique-state ceiling: a backstop against runaway growth on larger
+#: alphabets, far above what the micro configs reach at depth 7.
+DEFAULT_MAX_STATES = 250_000
+
+
+# ----------------------------------------------------------------------
+# Canonicalization
+# ----------------------------------------------------------------------
+def _entry_sig(entry) -> tuple:
+    return (entry.block, entry.state.value, entry.owner, entry.sharers,
+            entry.location.value, entry.nru_ref)
+
+
+def _l2_sig(line) -> tuple:
+    return (line.block, line.state.value, line.version, line.dirty,
+            line.is_code)
+
+
+def _frame_sig(line) -> tuple:
+    entry = line.entry
+    return (line.block, line.kind.value, line.dirty, line.version,
+            None if entry is None else _entry_sig(entry))
+
+
+def _socket_sig(socket) -> tuple:
+    """Protocol-visible state of one CMP socket (order-sensitive where
+    replacement policy reads order, sorted where it does not)."""
+    cores = tuple(
+        tuple(tuple(_l2_sig(line) for line in hier._l2.set_lines(idx))
+              for idx in range(hier._l2.geometry.sets))
+        for hier in socket.cores)
+    banks = tuple(
+        tuple(tuple(_frame_sig(frame)
+                    for frame in bank.frames_in_set(idx))
+              for idx in range(bank.sets))
+        for bank in socket.banks)
+    directory: tuple = ()
+    if socket.directory is not None:
+        dir_ = socket.directory
+        if dir_.unbounded:
+            directory = tuple(sorted(
+                (block, _entry_sig(entry))
+                for block, entry in dir_._index.items()))
+        else:
+            # Way order carries the NRU scan order, so it is identity.
+            directory = tuple(
+                tuple(_entry_sig(entry) for entry in ways)
+                for ways in dir_._sets)
+    housing: tuple = ()
+    housed = getattr(socket, "_housing", None)
+    if housed is not None:
+        housing = (
+            tuple(sorted((block, _entry_sig(entry))
+                         for block, entry in housed._housed.items())),
+            tuple(sorted(housed._garbage)))
+    dram = tuple(sorted(socket._dram_version.items()))
+    return (cores, banks, directory, housing, dram)
+
+
+def canonical_key(spec: ModelSpec, system) -> bytes:
+    """16-byte digest identifying the protocol-visible state.
+
+    Two systems with equal keys are protocol-equivalent: every future
+    access sequence produces the same transitions, check results, and
+    load values on both.  Latency-only state (stats, DRAM page tracking,
+    the socket dir-cache LRU and DirEvict bit cache) is excluded so
+    timing-divergent interleavings collapse.
+    """
+    return system_key(system, multisocket=spec.n_sockets > 1)
+
+
+def system_key(system, multisocket: bool = False) -> bytes:
+    """:func:`canonical_key` without the spec (for callers that hold a
+    built system but no :class:`ModelSpec`, e.g. the legacy explorer)."""
+    if not multisocket:
+        sig: tuple = (
+            _socket_sig(system),
+            tuple(sorted(system.shadow._latest.items())))
+    else:
+        sig = (
+            tuple(_socket_sig(socket) for socket in system.sockets),
+            tuple(sorted(
+                (block, entry.state.value, entry.owner, entry.sharers)
+                for block, entry in system._entries.items()
+                if entry.sharers)),
+            tuple(sorted(system._garbage)),
+            tuple(sorted(system._dram_version.items())),
+            tuple(sorted(system.shadow._latest.items())))
+    raw = pickle.dumps(sig, protocol=pickle.HIGHEST_PROTOCOL)
+    return hashlib.blake2b(raw, digest_size=16).digest()
+
+
+# ----------------------------------------------------------------------
+# Reports
+# ----------------------------------------------------------------------
+@dataclass
+class ModelCheckReport:
+    """Outcome of one memoized frontier exploration."""
+
+    model: str
+    depth: int
+    alphabet_size: int
+    mutation: str = ""
+    depth_reached: int = 0
+    #: Distinct canonical states discovered (including the root).
+    unique_states: int = 0
+    #: Transitions applied -- every one is invariant-checked.
+    transitions: int = 0
+    #: Successors discarded because their canonical state was known.
+    dedup_hits: int = 0
+    #: New unique states per completed BFS level.
+    level_unique: Tuple[int, ...] = ()
+    elapsed_s: float = 0.0
+    #: True when max_states or the time budget stopped expansion early.
+    capped: bool = False
+    counterexample: Optional[Counterexample] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.counterexample is None
+
+    @property
+    def states_checked(self) -> int:
+        """States checked = transitions (every successor is checked
+        before dedup, so duplicates are checked too -- soundness over
+        the stats-excluding canonical key)."""
+        return self.transitions
+
+    def counterexample_trace(self, name: str = "") -> FuzzTrace:
+        """The failing prefix as a ``repro shrink``-compatible trace."""
+        if self.counterexample is None:
+            raise ConfigError(
+                f"model {self.model} has no counterexample to export")
+        steps = tuple((core, op.value, block)
+                      for core, op, block in self.counterexample.sequence)
+        return FuzzTrace(name or f"modelcheck-{self.model}",
+                         TRACE_CORES, steps, pattern="modelcheck")
+
+    def summary(self) -> str:
+        tag = f"{self.model}+{self.mutation}" if self.mutation \
+            else self.model
+        head = (f"{tag}: depth {self.depth_reached}/{self.depth}, "
+                f"{self.unique_states:,} unique states, "
+                f"{self.transitions:,} transitions checked, "
+                f"{self.dedup_hits:,} dedup hits, "
+                f"{self.elapsed_s:.2f}s")
+        if self.capped:
+            head += " (capped)"
+        if self.counterexample is not None:
+            head += f"\n  COUNTEREXAMPLE: {self.counterexample}"
+        return head
+
+
+# ----------------------------------------------------------------------
+# The frontier engine
+# ----------------------------------------------------------------------
+def _explore_frontier(report: ModelCheckReport,
+                      build: Callable[[], object],
+                      issue: Callable[[object, tuple], None],
+                      check: Callable[[object], None],
+                      canonical: Callable[[object], bytes],
+                      trim: Callable[[object], None],
+                      alphabet: Sequence[tuple], depth: int,
+                      max_states: int, budget_s: Optional[float],
+                      bus=None) -> ModelCheckReport:
+    """Generic memoized BFS shared by the spec-level entry point and
+    :meth:`ExhaustiveExplorer.explore_memoized`."""
+    started = time.perf_counter()
+
+    def finish() -> ModelCheckReport:
+        report.elapsed_s = time.perf_counter() - started
+        return report
+
+    root = build()
+    try:
+        check(root)
+    except Exception as error:            # noqa: BLE001 - reported
+        report.counterexample = Counterexample((), error)
+        return finish()
+    trim(root)
+    seen = {canonical(root)}
+    report.unique_states = 1
+    frontier: List[Tuple[bytes, tuple]] = [
+        (pickle.dumps(root, pickle.HIGHEST_PROTOCOL), ())]
+    level_unique: List[int] = []
+
+    for level in range(1, depth + 1):
+        successors: List[Tuple[bytes, tuple]] = []
+        fresh = 0
+        for snapshot, path in frontier:
+            if budget_s is not None and \
+                    time.perf_counter() - started > budget_s:
+                report.capped = True
+                report.level_unique = tuple(level_unique)
+                return finish()
+            for symbol in alphabet:
+                system = pickle.loads(snapshot)
+                try:
+                    issue(system, symbol)
+                    check(system)
+                except Exception as error:   # noqa: BLE001 - reported
+                    report.counterexample = Counterexample(
+                        path + (symbol,), error)
+                    report.level_unique = tuple(level_unique)
+                    if bus is not None:
+                        bus.step = level
+                        bus.emit(EventKind.MC_CEX,
+                                 cause=type(error).__name__)
+                    return finish()
+                report.transitions += 1
+                key = canonical(system)
+                if key in seen:
+                    report.dedup_hits += 1
+                    continue
+                seen.add(key)
+                report.unique_states += 1
+                fresh += 1
+                if report.unique_states >= max_states:
+                    report.capped = True
+                    level_unique.append(fresh)
+                    report.level_unique = tuple(level_unique)
+                    return finish()
+                trim(system)
+                successors.append(
+                    (pickle.dumps(system, pickle.HIGHEST_PROTOCOL),
+                     path + (symbol,)))
+        level_unique.append(fresh)
+        report.depth_reached = level
+        if bus is not None:
+            bus.step = level
+            bus.emit(EventKind.MC_FRONTIER,
+                     cause=(f"{fresh}/{report.transitions}/"
+                            f"{report.dedup_hits}"))
+        frontier = successors
+        if not frontier:
+            break
+    report.level_unique = tuple(level_unique)
+    return finish()
+
+
+def _spec_issue(spec: ModelSpec):
+    def issue(system, symbol) -> None:
+        trace_core, op, block = symbol
+        socket, core = spec.map_core(trace_core)
+        if spec.n_sockets == 1:
+            system.access(core, op, block << BLOCK_SHIFT)
+        else:
+            system.access(socket, core, op, block << BLOCK_SHIFT)
+    return issue
+
+
+def _spec_check(spec: ModelSpec):
+    def check(system) -> None:
+        check_step(spec, system)
+        if spec.is_zerodev:
+            devs = dev_count(spec, system)
+            if devs:
+                raise DivergenceError(
+                    f"ZeroDEV model issued {devs} DEV invalidations")
+    return check
+
+
+def _spec_trim(spec: ModelSpec):
+    from repro.verify.checks import each_socket
+
+    def trim(system) -> None:
+        # The per-core shrink journal is a kernel-sync aid that grows
+        # with every invalidation; modelcheck runs the scalar access
+        # path only, so dropping it keeps snapshots O(state), not
+        # O(path).
+        for socket in each_socket(spec, system):
+            for hier in socket.cores:
+                hier.shrink_log.clear()
+    return trim
+
+
+def build_alphabet(cores: Sequence[int] = MICRO_CORES,
+                   blocks: Sequence[int] = MICRO_BLOCKS,
+                   ops: Sequence[Op] = MICRO_OPS) -> List[tuple]:
+    return [(core, op, block)
+            for core in cores for op in ops for block in blocks]
+
+
+def explore_model(spec: ModelSpec, depth: int,
+                  cores: Sequence[int] = MICRO_CORES,
+                  blocks: Sequence[int] = MICRO_BLOCKS,
+                  ops: Sequence[Op] = MICRO_OPS,
+                  symbols: Optional[Sequence[tuple]] = None,
+                  mutation: str = "",
+                  max_states: int = DEFAULT_MAX_STATES,
+                  budget_s: Optional[float] = None,
+                  bus=None) -> ModelCheckReport:
+    """Exhaustively check ``spec`` to ``depth`` over the micro alphabet.
+
+    ``symbols`` overrides the cores x ops x blocks cross product with an
+    explicit ``(core, op, block)`` list (the mutation gate uses this to
+    focus the alphabet on one bug's trigger set).  ``mutation`` arms a
+    seeded bug from :mod:`repro.verify.mutations` on the root system
+    (the armed flags survive snapshotting, so the whole frontier
+    explores the mutant protocol).
+    """
+    alphabet = (list(symbols) if symbols is not None
+                else build_alphabet(cores, blocks, ops))
+    report = ModelCheckReport(spec.name, depth, len(alphabet),
+                              mutation=mutation)
+
+    def build():
+        system = spec.build()
+        if mutation:
+            from repro.verify.mutations import arm_mutation
+            arm_mutation(system, mutation)
+        return system
+
+    return _explore_frontier(
+        report, build, _spec_issue(spec), _spec_check(spec),
+        lambda system: canonical_key(spec, system), _spec_trim(spec),
+        alphabet, depth, max_states, budget_s, bus=bus)
+
+
+def check_matrix(depth: int, models: Optional[Sequence[ModelSpec]] = None,
+                 cores: Sequence[int] = MICRO_CORES,
+                 blocks: Sequence[int] = MICRO_BLOCKS,
+                 budget_s: Optional[float] = None,
+                 bus=None) -> List[ModelCheckReport]:
+    """Every model of the matrix through the frontier (ZeroDEV policy x
+    replacement x LLC design, plus both 2-socket solutions)."""
+    from repro.verify.models import model_matrix
+    specs = list(models) if models is not None else model_matrix()
+    return [explore_model(spec, depth, cores=cores, blocks=blocks,
+                          budget_s=budget_s, bus=bus)
+            for spec in specs]
+
+
+# ----------------------------------------------------------------------
+# Frontier vs per-sequence replay (the --stats gate)
+# ----------------------------------------------------------------------
+@dataclass
+class StatsComparison:
+    """Unique canonical states reached at equal wall-clock: memoized
+    frontier versus the per-sequence full replay it replaces."""
+
+    model: str
+    depth: int
+    frontier: ModelCheckReport = field(repr=False)
+    #: What iterative per-sequence replay got through in the frontier's
+    #: wall-clock: completed sequences/accesses and the depth it was
+    #: working at when time ran out.
+    replay_sequences: int = 0
+    replay_accesses: int = 0
+    replay_depth: int = 0
+    #: Unique canonical states those sequences actually visited --
+    #: measured exactly, with the canonicalization cost kept off
+    #: replay's clock (real replay never canonicalized anything).
+    replay_unique: int = 0
+    replay_elapsed_s: float = 0.0
+
+    @property
+    def ratio(self) -> float:
+        return self.frontier.unique_states / max(1, self.replay_unique)
+
+    def summary(self) -> str:
+        f = self.frontier
+        return (
+            f"{self.model} @ depth {self.depth} "
+            f"({f.elapsed_s:.2f}s wall-clock each):\n"
+            f"  frontier: {f.unique_states:,} unique canonical states "
+            f"({f.transitions:,} transitions, {f.dedup_hits:,} dedup "
+            f"hits)\n"
+            f"  replay:   {self.replay_unique:,} unique states "
+            f"({self.replay_sequences:,} sequences replayed, working at "
+            f"depth {self.replay_depth})\n"
+            f"  frontier checks {self.ratio:.1f}x more unique states "
+            f"at equal wall-clock")
+
+
+def frontier_vs_replay(spec: ModelSpec, depth: int,
+                       cores: Sequence[int] = MICRO_CORES,
+                       blocks: Sequence[int] = MICRO_BLOCKS,
+                       max_states: int = DEFAULT_MAX_STATES
+                       ) -> StatsComparison:
+    """Run the frontier to ``depth``, then give per-sequence replay the
+    same wall-clock and count what it covers.
+
+    The replay loop is the work ``ExhaustiveExplorer.explore`` used to
+    do -- fresh system per sequence, one access plus one invariant check
+    per step, iterative deepening so shallow depths complete first.  Its
+    unique-state count is measured exactly by canonicalizing every state
+    it passes through, but that canonicalization cost is subtracted from
+    replay's clock (real replay never did any), which errs in replay's
+    favour.
+    """
+    frontier = explore_model(spec, depth, cores=cores, blocks=blocks,
+                             max_states=max_states)
+    budget = frontier.elapsed_s
+    alphabet = build_alphabet(cores, blocks)
+    issue = _spec_issue(spec)
+    check = _spec_check(spec)
+    comparison = StatsComparison(spec.name, depth, frontier)
+
+    seen = {canonical_key(spec, spec.build())}
+    canon_overhead = 0.0
+    started = time.perf_counter()
+    out_of_time = False
+    for d in itertools.count(1):
+        comparison.replay_depth = d
+        for sequence in itertools.product(alphabet, repeat=d):
+            system = spec.build()
+            for symbol in sequence:
+                issue(system, symbol)
+                check(system)
+                comparison.replay_accesses += 1
+                canon_started = time.perf_counter()
+                seen.add(canonical_key(spec, system))
+                canon_overhead += time.perf_counter() - canon_started
+            comparison.replay_sequences += 1
+            if time.perf_counter() - started - canon_overhead > budget:
+                out_of_time = True
+                break
+        if out_of_time:
+            break
+    comparison.replay_elapsed_s = (
+        time.perf_counter() - started - canon_overhead)
+    comparison.replay_unique = len(seen)
+    return comparison
+
+
+# ----------------------------------------------------------------------
+# The mutation gate
+# ----------------------------------------------------------------------
+@dataclass
+class MutationVerdict:
+    """One seeded bug under both checkers."""
+
+    mutation: str
+    model: str
+    caught_by_modelcheck: bool
+    catch_depth: int = -1
+    modelcheck_error: str = ""
+    fuzz_caught: bool = False
+    fuzz_budget: int = 0
+    fuzz_seed: int = 0
+    fuzz_steps: int = 0
+
+    def summary(self) -> str:
+        mc = (f"caught at depth {self.catch_depth} "
+              f"({self.modelcheck_error})"
+              if self.caught_by_modelcheck else "MISSED")
+        fz = "caught" if self.fuzz_caught else "missed"
+        return (f"{self.mutation} on {self.model}: modelcheck {mc}; "
+                f"fuzz (seed {self.fuzz_seed}, budget "
+                f"{self.fuzz_budget}, steps {self.fuzz_steps}) {fz}")
+
+
+def mutation_gate(names: Optional[Sequence[str]] = None,
+                  fuzz_budget: int = 4, fuzz_seed: int = 7,
+                  fuzz_steps: int = 12,
+                  max_depth: Optional[int] = None,
+                  run_fuzz: bool = True) -> List[MutationVerdict]:
+    """Run every seeded mutation under modelcheck and the fuzz baseline.
+
+    The fuzz baseline is a real :func:`run_campaign` pass -- fixed seed,
+    fixed budget, the mutant differentially anchored against the clean
+    ``baseline-1x`` model, shrinking disabled -- i.e. exactly the
+    fuzz-smoke discipline, pointed at a known bug.  The defaults pin
+    short traces (``fuzz_steps=12``): long conflict traces saturate the
+    micro geometry and stumble into almost any seam, which would hide
+    the coverage gap the gate exists to demonstrate.  The gate the tests
+    and CI assert: every mutation caught by modelcheck, at least one
+    missed by fuzz.
+    """
+    from repro.verify.mutations import (MUTATIONS, mutant_spec,
+                                        reference_spec)
+    picked = list(names) if names else sorted(MUTATIONS)
+    verdicts: List[MutationVerdict] = []
+    for name in picked:
+        mutation = MUTATIONS.get(name)
+        if mutation is None:
+            known = ", ".join(sorted(MUTATIONS))
+            raise ConfigError(
+                f"unknown mutation {name!r}; known mutations: {known}")
+        spec = reference_spec(mutation.reference_model)
+        verdict = MutationVerdict(name, spec.name,
+                                  caught_by_modelcheck=False,
+                                  fuzz_budget=fuzz_budget,
+                                  fuzz_seed=fuzz_seed,
+                                  fuzz_steps=fuzz_steps)
+        depth_cap = max_depth or mutation.catch_depth
+        report = explore_model(spec, depth_cap, blocks=mutation.blocks,
+                               symbols=mutation.symbols or None,
+                               mutation=name)
+        if not report.ok:
+            verdict.caught_by_modelcheck = True
+            verdict.catch_depth = len(report.counterexample.sequence)
+            verdict.modelcheck_error = type(
+                report.counterexample.error).__name__
+        if run_fuzz:
+            from repro.verify.differential import run_campaign
+            from repro.verify.models import model_matrix
+            anchor = model_matrix()[0]
+            fuzz = run_campaign(seed=fuzz_seed, budget=fuzz_budget,
+                                models=[anchor, mutant_spec(spec, name)],
+                                steps_per_trace=fuzz_steps, shrink=False)
+            verdict.fuzz_caught = not fuzz.ok
+        verdicts.append(verdict)
+    return verdicts

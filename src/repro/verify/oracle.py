@@ -8,7 +8,8 @@ Correctness here is layered, from cheap to thorough:
 2. **Per-step** (every ``check_every`` accesses): the system's own
    ``check_invariants`` (SWMR, directory precision, entry-location
    exclusivity, corrupted-bitmap consistency) plus the structural checks
-   below -- LLC set occupancy and index consistency, spLRU
+   shared with modelcheck via :mod:`repro.verify.checks` -- LLC set
+   occupancy and index consistency, spLRU
    entry-above-block ordering, housed-implies-garbage and the
    case-(iiib) ban on a block being LLC-resident while its entry is
    housed in memory.
@@ -30,21 +31,17 @@ shrinker needs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from typing import Tuple
 
-from repro.caches.block import LineKind
 from repro.common.addressing import BLOCK_SHIFT
-from repro.common.config import LLCReplacement
-from repro.common.errors import ProtocolInvariantError
 from repro.obs import EventBus, attach, attach_multisocket
+from repro.verify.checks import (DivergenceError, check_step, dev_count,
+                                 shadow_of)
 from repro.verify.models import ModelSpec
 from repro.verify.tracegen import FuzzTrace
 from repro.workloads.trace import Op
 
-
-class DivergenceError(ProtocolInvariantError):
-    """A model-level verification check failed (the model diverged from
-    the specified behaviour, even though no protocol assertion fired)."""
+__all__ = ["DevEventCounter", "DivergenceError", "Outcome", "run_trace"]
 
 
 class DevEventCounter:
@@ -67,9 +64,17 @@ class Outcome:
     ok: bool
     steps_run: int = 0
     #: Step index at which the failure surfaced; equals ``steps_run``
-    #: for failures in the post-trace checks / read-back.
+    #: for failures in the post-trace checks / read-back (the shrinker
+    #: uses this to know no trace truncation is possible there).
     failing_step: int = -1
     phase: str = ""                   # trace | final | readback
+    #: Readback failures only: the block whose re-load diverged and its
+    #: phase-local index in the sorted readback order.  ``failing_step``
+    #: stays pinned at ``len(trace)`` for every readback block (there is
+    #: no trace step to blame), so without these two fields a readback
+    #: report could not name the actual diverging load.
+    readback_block: int = -1
+    readback_index: int = -1
     error: str = ""
     error_type: str = ""
     dev_invalidations: int = 0
@@ -81,97 +86,12 @@ class Outcome:
     def __str__(self) -> str:
         if self.ok:
             return f"{self.model} x {self.trace}: ok"
+        where = f"step {self.failing_step} ({self.phase})"
+        if self.phase == "readback":
+            where = (f"readback {self.readback_index} "
+                     f"(block {self.readback_block:#x})")
         return (f"{self.model} x {self.trace}: {self.error_type} at "
-                f"step {self.failing_step} ({self.phase}): {self.error}")
-
-
-def _each_socket(spec: ModelSpec, system):
-    if spec.n_sockets == 1:
-        yield system
-    else:
-        yield from system.sockets
-
-
-def _check_llc_structure(spec: ModelSpec, system) -> None:
-    sp_lru = spec.config.llc_replacement is LLCReplacement.SP_LRU
-    for socket in _each_socket(spec, system):
-        for bank in socket.banks:
-            spilled_seen = 0
-            for set_idx in range(bank.sets):
-                frames = bank.frames_in_set(set_idx)
-                if len(frames) > bank.ways:
-                    raise DivergenceError(
-                        f"bank {bank.bank_id} set {set_idx} holds "
-                        f"{len(frames)} frames in {bank.ways} ways")
-                data_pos, spill_pos = {}, {}
-                for pos, line in enumerate(frames):
-                    bucket = (spill_pos
-                              if line.kind is LineKind.SPILLED
-                              else data_pos)
-                    if line.block in bucket:
-                        raise DivergenceError(
-                            f"duplicate {line.kind.name} frame for block "
-                            f"{line.block:#x} in bank {bank.bank_id}")
-                    bucket[line.block] = pos
-                    if line.kind is LineKind.SPILLED:
-                        spilled_seen += 1
-                        if bank.peek_spill(line.block) is not line:
-                            raise DivergenceError(
-                                f"spilled frame for block {line.block:#x} "
-                                "missing from the spill index")
-                if not sp_lru:
-                    continue
-                for block, pos in spill_pos.items():
-                    # spLRU invariant: a resident spilled entry sits
-                    # *above* (more recent than) its block, so the
-                    # block ages out first (Section III-D1).
-                    if block in data_pos and pos < data_pos[block]:
-                        raise DivergenceError(
-                            f"spLRU order inverted for block {block:#x}: "
-                            "spilled entry is older than its block")
-            if bank.spilled_count() != spilled_seen:
-                raise DivergenceError(
-                    f"bank {bank.bank_id} spill index tracks "
-                    f"{bank.spilled_count()} entries but "
-                    f"{spilled_seen} spilled frames are resident")
-
-
-def _check_housing(spec: ModelSpec, system) -> None:
-    for socket in _each_socket(spec, system):
-        housing = getattr(socket, "_housing", None)
-        if housing is None:
-            continue
-        for block in housing.housed_blocks():
-            if not housing.is_garbage(block):
-                raise DivergenceError(
-                    f"block {block:#x} houses an entry but is not "
-                    "marked corrupted")
-            bank = socket.bank_of(block)
-            # Case (iiib): while the entry lives in home memory the
-            # block must not be LLC-resident (Section III-D2).
-            if bank.peek_data(block) is not None or \
-                    bank.peek_spill(block) is not None:
-                raise DivergenceError(
-                    f"block {block:#x} is LLC-resident while its entry "
-                    "is housed in memory (case iiib)")
-
-
-def _check_step(spec: ModelSpec, system) -> None:
-    system.check_invariants()
-    _check_llc_structure(spec, system)
-    _check_housing(spec, system)
-
-
-def _dev_count(spec: ModelSpec, system) -> int:
-    if spec.n_sockets == 1:
-        return system.stats.dev_invalidations
-    return sum(stats.dev_invalidations for stats in system.stats)
-
-
-def _shadow_of(spec: ModelSpec, system):
-    if spec.n_sockets == 1:
-        return system.shadow
-    return system.sockets[0].shadow
+                f"{where}: {self.error}")
 
 
 def run_trace(spec: ModelSpec, trace: FuzzTrace, check_every: int = 1,
@@ -204,30 +124,35 @@ def run_trace(spec: ModelSpec, trace: FuzzTrace, check_every: int = 1,
 
     step = 0
     phase = "trace"
+    readback_index, readback_block = -1, -1
     try:
         for step, (core, op, block) in enumerate(trace.decoded()):
             issue(core, op, block)
             if (step + 1) % check_every == 0:
-                _check_step(spec, system)
+                check_step(spec, system)
         step = len(trace)
         phase = "final"
-        _check_step(spec, system)
+        check_step(spec, system)
         if spec.is_zerodev:
-            stat_devs = _dev_count(spec, system)
+            stat_devs = dev_count(spec, system)
             if stat_devs or counter.dev_invalidations:
                 raise DivergenceError(
                     f"ZeroDEV model issued {stat_devs} DEV invalidations "
                     f"({counter.dev_invalidations} priv_inv:dev events)")
         phase = "readback"
-        for block in sorted({s[2] for s in trace.steps}):
+        for readback_index, readback_block in enumerate(
+                sorted({s[2] for s in trace.steps})):
             # The built-in shadow check fires if the latest version of
             # the block is no longer recoverable from any layer.
-            issue(0, Op.READ, block)
-            _check_step(spec, system)
+            issue(0, Op.READ, readback_block)
+            check_step(spec, system)
     except Exception as error:            # noqa: BLE001 - reported
         outcome.steps_run = min(step + 1, len(trace))
         outcome.failing_step = step
         outcome.phase = phase
+        if phase == "readback":
+            outcome.readback_block = readback_block
+            outcome.readback_index = readback_index
         outcome.error = str(error)
         outcome.error_type = type(error).__name__
         outcome.dev_invalidations = counter.dev_invalidations
@@ -237,7 +162,7 @@ def run_trace(spec: ModelSpec, trace: FuzzTrace, check_every: int = 1,
     outcome.steps_run = len(trace)
     outcome.phase = "done"
     outcome.dev_invalidations = counter.dev_invalidations
-    shadow = _shadow_of(spec, system)
+    shadow = shadow_of(spec, system)
     outcome.memory_digest = tuple(
         sorted(shadow._latest.items()))    # noqa: SLF001 - oracle probe
     return outcome

@@ -1,0 +1,350 @@
+"""Memoized bounded-exhaustive model checking (``repro.verify.modelcheck``).
+
+Covers the frontier engine and its harness:
+
+* canonicalization -- symmetric interleavings collapse, latency-only
+  state (stats) is excluded, soundness is preserved by checking every
+  transition;
+* clean exploration across representative matrix models, plus the
+  ``explore_memoized`` bridge on the legacy explorer;
+* counterexample prefixes that replay through ``run_trace`` and shrink
+  through ``repro shrink`` exactly like fuzz divergences;
+* the mutation gate -- every seeded bug caught by modelcheck at its
+  documented depth, and at least one provably missed by the pinned
+  fixed-budget fuzz baseline;
+* the oracle's readback attribution and the multi-socket
+  single-shared-shadow invariant (verify-layer bugfix regressions).
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.obs.bus import EventBus
+from repro.obs.events import EventKind
+from repro.verify import run_campaign, run_trace, shrink_trace
+from repro.verify.checks import DivergenceError, shadow_of
+from repro.verify.modelcheck import (MICRO_BLOCKS, build_alphabet,
+                                     canonical_key, explore_model,
+                                     frontier_vs_replay, mutation_gate)
+from repro.verify.models import model_by_name, model_matrix
+from repro.verify.mutations import (MUTATIONS, arm_mutation,
+                                    mutant_spec, reference_spec)
+from repro.verify.tracegen import FuzzTrace
+from repro.workloads.trace import Op
+
+
+def spec_of(name="zerodev-fuse-private-spill-shared"):
+    return model_by_name(name)
+
+
+def issue_all(spec, system, sequence):
+    from repro.common.addressing import BLOCK_SHIFT
+    for trace_core, op, block in sequence:
+        socket, core = spec.map_core(trace_core)
+        if spec.n_sockets == 1:
+            system.access(core, op, block << BLOCK_SHIFT)
+        else:
+            system.access(socket, core, op, block << BLOCK_SHIFT)
+
+
+class TestCanonicalization:
+    def test_same_accesses_same_key(self):
+        spec = spec_of()
+        seq = [(0, Op.WRITE, 0), (1, Op.READ, 0), (0, Op.READ, 8)]
+        keys = []
+        for _ in range(2):
+            system = spec.build()
+            issue_all(spec, system, seq)
+            keys.append(canonical_key(spec, system))
+        assert keys[0] == keys[1]
+
+    def test_stats_are_excluded(self):
+        # Identical protocol state, divergent latency bookkeeping: the
+        # canonical key must not see the difference -- that collapse is
+        # where the frontier's state-space reduction comes from.
+        spec = spec_of()
+        system = spec.build()
+        issue_all(spec, system, [(0, Op.WRITE, 0)])
+        before = canonical_key(spec, system)
+        system.stats.dev_invalidations += 7
+        assert canonical_key(spec, system) == before
+
+    def test_order_sensitive_where_lru_reads_order(self):
+        # Touch order decides the LRU victim, so two L2 fill orders of
+        # the same two blocks are *different* protocol states.
+        spec = spec_of()
+        one, two = spec.build(), spec.build()
+        issue_all(spec, one, [(0, Op.READ, 0), (0, Op.READ, 8)])
+        issue_all(spec, two, [(0, Op.READ, 8), (0, Op.READ, 0)])
+        assert canonical_key(spec, one) != canonical_key(spec, two)
+
+    def test_multisocket_key_covers_socket_entries(self):
+        spec = spec_of("zerodev-2socket-sol1")
+        local, remote = spec.build(), spec.build()
+        issue_all(spec, local, [(0, Op.WRITE, 0)])
+        issue_all(spec, remote, [(1, Op.WRITE, 0)])
+        assert canonical_key(spec, local) != canonical_key(spec, remote)
+
+
+class TestFrontier:
+    @pytest.mark.parametrize("name", [
+        "baseline-1x", "zerodev-fuse-private-spill-shared",
+        "zerodev-fuse-private-spill-shared-splru",
+    ])
+    def test_clean_to_depth_three(self, name):
+        report = explore_model(spec_of(name), 3)
+        assert report.ok
+        assert report.depth_reached == 3
+        assert not report.capped
+        # Dedup is the whole point: well under one unique state per
+        # transition, and the per-level ledger adds up.
+        assert report.dedup_hits > 0
+        assert report.unique_states == 1 + sum(report.level_unique)
+        assert report.transitions == \
+            report.unique_states - 1 + report.dedup_hits
+
+    def test_two_socket_clean_shallow(self):
+        report = explore_model(spec_of("zerodev-2socket-sol1"), 2)
+        assert report.ok and report.depth_reached == 2
+
+    def test_max_states_caps_cleanly(self):
+        report = explore_model(spec_of(), 4, max_states=50)
+        assert report.ok and report.capped
+        assert report.unique_states <= 50
+
+    def test_budget_caps_cleanly(self):
+        report = explore_model(spec_of(), 6, budget_s=0.2)
+        assert report.ok and report.capped
+
+    def test_alphabet_override(self):
+        symbols = [(0, Op.WRITE, 0), (1, Op.READ, 0)]
+        report = explore_model(spec_of(), 2, symbols=symbols)
+        assert report.ok and report.alphabet_size == 2
+
+    def test_frontier_events_emitted(self):
+        class Sink:
+            def __init__(self):
+                self.events = []
+
+            def handle(self, event):
+                self.events.append(event)
+
+        bus, sink = EventBus(), Sink()
+        bus.subscribe(sink)
+        explore_model(spec_of(), 2, bus=bus)
+        levels = [e for e in sink.events
+                  if e.kind is EventKind.MC_FRONTIER]
+        assert [e.step for e in levels] == [1, 2]
+        assert all(len(e.cause.split("/")) == 3 for e in levels)
+
+    def test_explore_memoized_bridges_legacy_explorer(self):
+        from repro.coherence.exhaustive import ExhaustiveExplorer
+        from repro.verify.models import micro_config
+        explorer = ExhaustiveExplorer(micro_config, cores=(0, 1),
+                                      blocks=MICRO_BLOCKS)
+        legacy = explorer.explore(depth=2)
+        memoized = explorer.explore_memoized(depth=3)
+        assert legacy.ok and memoized.ok
+        assert memoized.depth_reached == 3
+        assert memoized.alphabet_size == len(build_alphabet())
+
+
+class TestCounterexamples:
+    def trigger(self):
+        mutation = MUTATIONS["skip-corrupt-restore"]
+        spec = reference_spec(mutation.reference_model)
+        report = explore_model(spec, mutation.catch_depth,
+                               blocks=mutation.blocks,
+                               mutation=mutation.name)
+        assert not report.ok
+        return spec, mutation, report
+
+    def test_prefix_replays_through_run_trace(self):
+        spec, mutation, report = self.trigger()
+        trace = report.counterexample_trace()
+        assert trace.pattern == "modelcheck"
+        # The bug needs its mutation: mutant fails, clean model passes.
+        assert not run_trace(mutant_spec(spec, mutation.name), trace).ok
+        assert run_trace(spec, trace).ok
+
+    def test_prefix_shrinks_like_a_fuzz_divergence(self):
+        spec, mutation, report = self.trigger()
+        mutant = mutant_spec(spec, mutation.name)
+        trace = report.counterexample_trace()
+        outcome = run_trace(mutant, trace)
+        minimized, final = shrink_trace(mutant, trace,
+                                        reference=outcome)
+        assert not final.ok
+        assert len(minimized) <= len(trace)
+
+    def test_npz_round_trip(self, tmp_path):
+        _spec, _mutation, report = self.trigger()
+        trace = report.counterexample_trace()
+        path = tmp_path / "cex.npz"
+        trace.save(path)
+        loaded = FuzzTrace.load(path)
+        assert loaded.steps == trace.steps
+
+    def test_cex_event_emitted(self):
+        class Sink:
+            def __init__(self):
+                self.events = []
+
+            def handle(self, event):
+                self.events.append(event)
+
+        mutation = MUTATIONS["skip-corrupt-restore"]
+        spec = reference_spec(mutation.reference_model)
+        bus, sink = EventBus(), Sink()
+        bus.subscribe(sink)
+        explore_model(spec, mutation.catch_depth,
+                      blocks=mutation.blocks, mutation=mutation.name,
+                      bus=bus)
+        assert any(e.kind is EventKind.MC_CEX for e in sink.events)
+
+
+class TestMutations:
+    @pytest.mark.parametrize("name", sorted(MUTATIONS))
+    def test_caught_at_documented_depth(self, name):
+        mutation = MUTATIONS[name]
+        spec = reference_spec(mutation.reference_model)
+        report = explore_model(spec, mutation.catch_depth,
+                               blocks=mutation.blocks,
+                               symbols=mutation.symbols or None,
+                               mutation=name)
+        assert not report.ok, f"{name} not caught at its catch_depth"
+        assert len(report.counterexample.sequence) <= mutation.catch_depth
+
+    @pytest.mark.parametrize("name", sorted(MUTATIONS))
+    def test_applies_to_its_reference_model(self, name):
+        mutation = MUTATIONS[name]
+        assert mutation.applies_to(reference_spec(
+            mutation.reference_model))
+
+    def test_armed_flags_survive_snapshots(self):
+        spec = spec_of()
+        system = spec.build()
+        arm_mutation(system, "skip-corrupt-restore")
+        clone = pickle.loads(pickle.dumps(system))
+        assert "skip-corrupt-restore" in clone.mutations
+
+    def test_unknown_mutation_is_config_error(self):
+        with pytest.raises(ConfigError, match="unknown mutation"):
+            arm_mutation(spec_of().build(), "no-such-bug")
+        with pytest.raises(ConfigError, match="does not apply"):
+            mutant_spec(spec_of(), "skip-denf-nack")
+
+    def test_fuzz_baseline_misses_denf_nack(self):
+        # The pinned gap: the pinned-seed, pinned-budget, short-trace
+        # fuzz campaign stays green on the skip-denf-nack mutant that
+        # modelcheck refutes at depth 7.  This is the reason the
+        # frontier exists; if fuzz starts catching it, the gate (and
+        # this pin) should move to a harder bug, not be deleted.
+        spec = reference_spec("zerodev-2socket-sol1")
+        mutant = mutant_spec(spec, "skip-denf-nack")
+        report = run_campaign(seed=7, budget=4, steps_per_trace=12,
+                              models=[model_matrix()[0], mutant],
+                              shrink=False)
+        assert report.ok
+
+    def test_gate_runs_end_to_end_without_fuzz(self):
+        verdicts = mutation_gate(names=["skip-corrupt-restore"],
+                                 run_fuzz=False)
+        assert len(verdicts) == 1
+        assert verdicts[0].caught_by_modelcheck
+        assert "caught at depth" in verdicts[0].summary()
+
+
+class TestStatsComparison:
+    def test_frontier_beats_replay_at_equal_wallclock(self):
+        # The full >=10x claim needs depth 8 (~3 minutes) and lives in
+        # ``repro modelcheck --stats``; this is the cheap monotone
+        # version of the same measurement.
+        comparison = frontier_vs_replay(spec_of(), 4)
+        assert comparison.frontier.ok
+        assert comparison.replay_unique >= 1
+        assert comparison.ratio >= 1.0
+        assert "unique canonical states" in comparison.summary()
+
+
+class TestVerifyLayerRegressions:
+    def test_readback_failure_names_block_and_index(self, monkeypatch):
+        # Regression: a readback-phase failure used to report the wrong
+        # failing step; it must pin failing_step at len(trace) and name
+        # the diverging block through the readback_* fields.
+        import repro.verify.oracle as oracle
+        spec = spec_of()
+        trace = FuzzTrace("readback-regression", 2,
+                          ((0, Op.WRITE.value, 0), (1, Op.READ.value, 8)))
+        real_check = oracle.check_step
+        state = {"armed": False}
+
+        def failing_check(spec_, system):
+            real_check(spec_, system)
+            if state["armed"]:
+                raise DivergenceError("synthetic readback divergence")
+
+        monkeypatch.setattr(oracle, "check_step", failing_check)
+        clean = oracle.run_trace(spec, trace)
+        assert clean.ok
+        state["armed"] = True
+        outcome = oracle.run_trace(spec, trace)
+        assert not outcome.ok
+        # The first armed check fires at trace step 0, not readback --
+        # so exercise the readback path with a check that only fails
+        # once the trace and final phases are over.
+        state["armed"] = False
+        calls = {"n": 0}
+
+        def readback_only(spec_, system):
+            real_check(spec_, system)
+            calls["n"] += 1
+            if calls["n"] > len(trace) + 1:
+                raise DivergenceError("synthetic readback divergence")
+
+        monkeypatch.setattr(oracle, "check_step", readback_only)
+        outcome = oracle.run_trace(spec, trace)
+        assert not outcome.ok
+        assert outcome.phase == "readback"
+        assert outcome.failing_step == len(trace)
+        assert outcome.readback_index == 0
+        assert outcome.readback_block == 0
+        assert "readback 0" in str(outcome)
+
+    def test_two_socket_shadow_is_shared(self):
+        # Regression for the socket-0-only digest: the multi-socket
+        # memory digest is only honest because every socket aliases ONE
+        # shadow; shadow_of pins that as an invariant.
+        spec = spec_of("zerodev-2socket-sol1")
+        system = spec.build()
+        assert shadow_of(spec, system) is system.shadow
+        for socket in system.sockets:
+            assert socket.shadow is system.shadow
+
+    def test_private_shadow_is_loud(self):
+        from repro.coherence.shadow import ShadowMemory
+        spec = spec_of("zerodev-2socket-sol1")
+        system = spec.build()
+        system.sockets[1].shadow = ShadowMemory()
+        with pytest.raises(DivergenceError, match="private shadow"):
+            shadow_of(spec, system)
+
+    def test_two_socket_solutions_agree_on_digest(self):
+        # Digest equivalence across the two paper solutions on one
+        # conflict-heavy sequence -- the cross-model property the
+        # shared shadow makes trustworthy.
+        seq = [(0, Op.WRITE, 0), (1, Op.WRITE, 8), (0, Op.READ, 8),
+               (1, Op.READ, 0), (0, Op.WRITE, 16), (1, Op.READ, 16)]
+        steps = tuple((core, op.value, block) for core, op, block in seq)
+        trace = FuzzTrace("digest-equivalence", 2, steps)
+        digests = {}
+        for name in ("baseline-2socket", "zerodev-2socket-sol1",
+                     "zerodev-2socket-sol2"):
+            outcome = run_trace(model_by_name(name), trace)
+            assert outcome.ok, f"{name}: {outcome}"
+            digests[name] = outcome.memory_digest
+        assert len(set(digests.values())) == 1, digests
