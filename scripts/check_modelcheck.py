@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """CI gate: the memoized model checker is clean and still has teeth.
 
-Two assertions, mirroring the contract in PROTOCOL.md:
+Five assertions, mirroring the contract in PROTOCOL.md:
 
 1. **Clean matrix.** Every model of the verification matrix (all
    ZeroDEV policy x replacement x LLC designs, the sparse baselines,
@@ -12,9 +12,17 @@ Two assertions, mirroring the contract in PROTOCOL.md:
    its documented depth, while the pinned fixed-seed, fixed-budget,
    short-trace fuzz baseline stays green on at least one of them --
    the coverage gap that justifies the model checker's existence.
+3. **Parallel bit-identity.** jobs=1 and jobs=4 produce byte-identical
+   reports (counters, per-level ledger, counterexample path) on a clean
+   model and on the deepest seeded mutation.
+4. **Symmetry soundness in anger.** The full mutation gate still
+   catches every seeded bug with orbit-minimal canonicalization on.
+5. **Symmetry depth gate.** With symmetry on, a clean stats model
+   completes CI_DEPTH + 2 uncapped -- the state-collapse the reduction
+   exists to buy.
 
-Everything is deterministic (BFS order, pinned seeds), so any failure
-is a protocol or checker regression, not noise.
+Everything is deterministic (BFS order, pinned seeds, order-insensitive
+merges), so any failure is a protocol or checker regression, not noise.
 """
 
 from __future__ import annotations
@@ -22,9 +30,19 @@ from __future__ import annotations
 import sys
 import time
 
-from repro.verify.modelcheck import check_matrix, mutation_gate
+from repro.verify.modelcheck import (check_matrix, explore_model,
+                                     mutation_gate)
+from repro.verify.models import model_by_name
+from repro.verify.mutations import MUTATIONS
 
 CI_DEPTH = 4
+DEPTH_GATE_MODEL = "zerodev-fuse-private-spill-shared"
+IDENTITY_MUTATION = "skip-denf-nack"
+
+
+def _identity_reports(**kwargs):
+    return [report.identity_bytes() for report in (
+        explore_model(jobs=jobs, **kwargs) for jobs in (1, 4))]
 
 
 def main() -> int:
@@ -43,6 +61,27 @@ def main() -> int:
               f"{CI_DEPTH} -- raise the ceiling, the depth is the gate")
         return 1
 
+    # jobs=1 vs jobs=4 bit-identity: a clean model, then the deepest
+    # mutation (its counterexample path must be the BFS-first one on
+    # both).
+    clean = _identity_reports(spec=model_by_name(DEPTH_GATE_MODEL),
+                              depth=CI_DEPTH)
+    if clean[0] != clean[1]:
+        print(f"FAIL: jobs=1 vs jobs=4 reports differ on clean "
+              f"{DEPTH_GATE_MODEL}:\n  {clean[0]!r}\n  {clean[1]!r}")
+        return 1
+    mutation = MUTATIONS[IDENTITY_MUTATION]
+    mutant = _identity_reports(
+        spec=model_by_name(mutation.reference_model),
+        depth=mutation.catch_depth, blocks=mutation.blocks,
+        symbols=mutation.symbols or None, mutation=IDENTITY_MUTATION)
+    if mutant[0] != mutant[1]:
+        print(f"FAIL: jobs=1 vs jobs=4 reports differ on "
+              f"{IDENTITY_MUTATION}:\n  {mutant[0]!r}\n  {mutant[1]!r}")
+        return 1
+    print(f"parallel identity: jobs=1 == jobs=4 on {DEPTH_GATE_MODEL} "
+          f"and {IDENTITY_MUTATION}")
+
     verdicts = mutation_gate()
     for verdict in verdicts:
         print(verdict.summary())
@@ -59,11 +98,32 @@ def main() -> int:
               "gap -- seed a deeper bug")
         return 1
 
+    # Symmetry soundness in anger: every mutation still refuted under
+    # orbit-minimal canonicalization (fuzz leg already pinned above).
+    symmetric = mutation_gate(run_fuzz=False, symmetry=True)
+    missed_with_symmetry = [v.mutation for v in symmetric
+                            if not v.caught_by_modelcheck]
+    if missed_with_symmetry:
+        print("FAIL: symmetry reduction hid seeded mutation(s): "
+              + ", ".join(missed_with_symmetry))
+        return 1
+    print(f"symmetry gate: all {len(symmetric)} mutations caught with "
+          f"--symmetry")
+
+    # Symmetry depth gate: +2 depth, uncapped, on a clean stats model.
+    deep = explore_model(model_by_name(DEPTH_GATE_MODEL), CI_DEPTH + 2,
+                         symmetry=True)
+    print(deep.summary())
+    if not deep.ok or deep.capped or deep.depth_reached != CI_DEPTH + 2:
+        print(f"FAIL: symmetry-on exploration of {DEPTH_GATE_MODEL} "
+              f"did not complete depth {CI_DEPTH + 2} cleanly")
+        return 1
+
     print(f"OK: {len(reports)} models clean at depth {CI_DEPTH}, "
-          f"{len(verdicts)} mutations caught by modelcheck, "
-          f"{len(missed_by_fuzz)} missed by fuzz "
-          f"({', '.join(missed_by_fuzz)}) "
-          f"[{time.perf_counter() - started:.1f}s]")
+          f"jobs=1==jobs=4, {len(verdicts)} mutations caught by "
+          f"modelcheck ({len(missed_by_fuzz)} missed by fuzz: "
+          f"{', '.join(missed_by_fuzz)}), symmetry gate clean at depth "
+          f"{CI_DEPTH + 2} [{time.perf_counter() - started:.1f}s]")
     return 0
 
 

@@ -210,6 +210,7 @@ def _verify_kernel_diff(args) -> int:
 def _command_modelcheck(args) -> int:
     """Memoized bounded-exhaustive checking (see PROTOCOL.md §6)."""
     import os
+    from repro.harness.parallel import default_jobs
     from repro.verify.modelcheck import (MICRO_BLOCKS, check_matrix,
                                          frontier_vs_replay,
                                          mutation_gate)
@@ -221,9 +222,11 @@ def _command_modelcheck(args) -> int:
     blocks = (MICRO_BLOCKS if args.blocks is None
               else tuple(int(b, 0)
                          for b in args.blocks.split(",") if b.strip()))
+    jobs = args.jobs if args.jobs is not None else default_jobs()
+    symmetry = bool(args.symmetry)
 
     if args.mutations:
-        verdicts = mutation_gate()
+        verdicts = mutation_gate(jobs=jobs, symmetry=symmetry)
         for verdict in verdicts:
             print(verdict.summary())
         caught = all(v.caught_by_modelcheck for v in verdicts)
@@ -237,7 +240,8 @@ def _command_modelcheck(args) -> int:
         # Replay needs several levels of headroom before memoization
         # pays 10x, hence the deeper default.
         depth = args.depth if args.depth is not None else 8
-        comparison = frontier_vs_replay(specs[0], depth, blocks=blocks)
+        comparison = frontier_vs_replay(specs[0], depth, blocks=blocks,
+                                        jobs=jobs, symmetry=symmetry)
         print(comparison.summary())
         return 0 if comparison.frontier.ok else 1
 
@@ -250,7 +254,8 @@ def _command_modelcheck(args) -> int:
         from repro.verify.modelcheck import explore_model
         report = explore_model(spec, depth, blocks=blocks,
                                mutation=args.mutation or "",
-                               budget_s=args.budget_s, **kwargs)
+                               budget_s=args.budget_s, jobs=jobs,
+                               symmetry=symmetry, **kwargs)
         print(report.summary())
         reports.append(report)
     failures = [r for r in reports if not r.ok]
@@ -606,6 +611,14 @@ def build_parser() -> argparse.ArgumentParser:
     modelcheck.add_argument("--out", default=None,
                             help="directory for counterexample .npz "
                                  "reproducers (repro shrink compatible)")
+    modelcheck.add_argument("--jobs", type=_jobs_argument, default=None,
+                            help="fork workers per frontier level "
+                                 "(reports are bit-identical at any "
+                                 "count; default: REPRO_JOBS)")
+    modelcheck.add_argument("--symmetry", action="store_true",
+                            help="orbit-minimal canonicalization over "
+                                 "sound core/block relabelings "
+                                 "(repro.verify.symmetry)")
 
     fuzz = commands.add_parser(
         "fuzz", help="differential fuzzing across the model matrix")

@@ -151,7 +151,8 @@ class ExhaustiveExplorer:
         return report
 
     def explore_memoized(self, depth: int, max_states: int = 250_000,
-                         budget_s: Optional[float] = None):
+                         budget_s: Optional[float] = None,
+                         jobs: int = 1):
         """Explore to ``depth`` through the memoized snapshot frontier.
 
         Same alphabet and check discipline as :meth:`explore`, but run
@@ -167,7 +168,7 @@ class ExhaustiveExplorer:
                                              system_key)
         config = self._config_factory()
         report = ModelCheckReport(config.protocol.value, depth,
-                                  len(self._alphabet))
+                                  len(self._alphabet), jobs=jobs)
 
         def issue(system, symbol) -> None:
             core, op, block = symbol
@@ -180,7 +181,7 @@ class ExhaustiveExplorer:
         return _explore_frontier(
             report, lambda: build_system(self._config_factory()),
             issue, self._check, system_key, trim, self._alphabet,
-            depth, max_states, budget_s)
+            depth, max_states, budget_s, jobs=jobs)
 
     def explore_sampled(self, depth: int, samples: int, seed: int = 0,
                         jobs: int = 1) -> ExplorationReport:

@@ -63,9 +63,15 @@ class EventKind(enum.Enum):
     # Modelcheck frontier (repro.verify.modelcheck): emitted by the
     # bounded-exhaustive explorer, with ``step`` carrying the BFS depth
     # just completed. ``MC_FRONTIER``'s cause packs the level counters
-    # (``new/transitions/dedup``) so a progress sink can render the
-    # state-collapse rate live; ``MC_CEX`` marks a counterexample.
+    # (``new/transitions/dedup``, with a fourth ``capped`` part when
+    # max_states or the time budget stopped the level early) so a
+    # progress sink can render the state-collapse rate live;
+    # ``MC_MERGE`` reports each level's parallel partition/merge shape
+    # (``core`` = worker partitions, cause packs
+    # ``partitions/frontier/transitions-merged``); ``MC_CEX`` marks a
+    # counterexample.
     MC_FRONTIER = "mc_frontier"    # one completed frontier level
+    MC_MERGE = "mc_merge"          # per-level partition/merge stats
     MC_CEX = "mc_cex"              # counterexample found (cause=error type)
 
     # Job service (repro.service): fleet-level health events, written to

@@ -8,10 +8,13 @@ states some other sequence already produced.  This module enumerates
 with memoized dedup.
 
 * **Snapshots.** The simulator is deterministic plain-Python state, so a
-  frontier node is just ``pickle.dumps(system)`` (~5 KB on the micro
-  geometry).  Expanding a node unpickles the parent once per alphabet
-  symbol, applies the access, and checks the successor -- O(1) work per
-  transition regardless of depth, versus O(depth) for sequence replay.
+  frontier node is just ``pickle.dumps(system)``.  Expanding a node
+  unpickles the parent once per alphabet symbol, applies the access, and
+  checks the successor -- O(1) work per transition regardless of depth,
+  versus O(depth) for sequence replay.  Latency-only components (stats,
+  the mesh, the DRAM model) are stripped before snapshotting and
+  reattached from per-process shared instances on load (``wake``), which
+  roughly halves snapshot bytes on the micro geometry.
 * **Canonicalization.** A state's identity is a blake2b digest over the
   protocol-visible state only: private L2 lines in per-set LRU order,
   directory entries (with NRU bits and way order), LLC frames per set in
@@ -22,9 +25,21 @@ with memoized dedup.
   DirEvict bit cache) is deliberately excluded: it cannot feed back into
   protocol decisions, so states differing only in latency bookkeeping
   collapse into one, which is where the state-space reduction comes
-  from.  Soundness is preserved by checking every *transition* (not just
-  every new unique state): an invariant violation is observed on the
-  concrete successor before dedup can discard it.
+  from.  With ``symmetry=True`` the key is additionally minimized over
+  the sound core/block relabelings of :mod:`repro.verify.symmetry`, so
+  whole orbits of label-symmetric states collapse too.  Soundness is
+  preserved by checking every *transition* (not just every new unique
+  state): an invariant violation is observed on the concrete successor
+  before dedup can discard it.
+* **Parallel expansion.** Each BFS level's frontier is partitioned into
+  contiguous chunks across fork workers (``jobs``).  Workers expand and
+  check their chunk against the frozen pre-level seen-set and emit one
+  outcome record per transition; the parent then *merges* the records
+  serially in partition -> node -> symbol order -- which is exactly the
+  serial BFS order -- so every counter, the per-level ledger, and any
+  counterexample (always the BFS-first one) are bit-identical at any
+  worker count (``ModelCheckReport.identity_bytes`` is the comparison
+  form; asserted for jobs 1/2/4 by tests and CI).
 * **Checks.** Each transition runs the system's own ``check_invariants``
   plus the structural battery shared with the fuzz oracle
   (:mod:`repro.verify.checks`), and ZeroDEV models additionally assert a
@@ -45,14 +60,16 @@ from __future__ import annotations
 
 import hashlib
 import itertools
+import json
 import pickle
 import time
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.coherence.exhaustive import Counterexample
 from repro.common.addressing import BLOCK_SHIFT
 from repro.common.errors import ConfigError
+from repro.harness.parallel import parallel_map
 from repro.obs.events import EventKind
 from repro.verify.checks import check_step, dev_count, DivergenceError
 from repro.verify.models import TRACE_CORES, ModelSpec
@@ -127,37 +144,60 @@ def _socket_sig(socket) -> tuple:
     return (cores, banks, directory, housing, dram)
 
 
-def canonical_key(spec: ModelSpec, system) -> bytes:
+def system_sig(system, multisocket: bool = False) -> tuple:
+    """The raw protocol-visible signature (:func:`system_key` digests
+    it; :mod:`repro.verify.symmetry` relabels it)."""
+    if not multisocket:
+        return (
+            _socket_sig(system),
+            tuple(sorted(system.shadow._latest.items())))
+    return (
+        tuple(_socket_sig(socket) for socket in system.sockets),
+        tuple(sorted(
+            (block, entry.state.value, entry.owner, entry.sharers)
+            for block, entry in system._entries.items()
+            if entry.sharers)),
+        tuple(sorted(system._garbage)),
+        tuple(sorted(system._dram_version.items())),
+        tuple(sorted(system.shadow._latest.items())))
+
+
+def _digest(sig: tuple) -> bytes:
+    raw = pickle.dumps(sig, protocol=pickle.HIGHEST_PROTOCOL)
+    return hashlib.blake2b(raw, digest_size=16).digest()
+
+
+def canonical_key(spec: ModelSpec, system, group=None) -> bytes:
     """16-byte digest identifying the protocol-visible state.
 
     Two systems with equal keys are protocol-equivalent: every future
     access sequence produces the same transitions, check results, and
-    load values on both.  Latency-only state (stats, DRAM page tracking,
+    load values on both (up to a sound relabeling when a symmetry
+    ``group`` is given).  Latency-only state (stats, DRAM page tracking,
     the socket dir-cache LRU and DirEvict bit cache) is excluded so
     timing-divergent interleavings collapse.
     """
-    return system_key(system, multisocket=spec.n_sockets > 1)
+    multisocket = spec.n_sockets > 1
+    if not group or len(group) <= 1:
+        return system_key(system, multisocket=multisocket)
+    from repro.verify.symmetry import relabel_system_sig
+    sig = system_sig(system, multisocket=multisocket)
+    dir_unbounded = spec.config.directory.unbounded
+    best = _digest(sig)
+    for relabeling in group:
+        if relabeling.is_identity:
+            continue
+        other = _digest(relabel_system_sig(sig, relabeling, multisocket,
+                                           dir_unbounded))
+        if other < best:
+            best = other
+    return best
 
 
 def system_key(system, multisocket: bool = False) -> bytes:
     """:func:`canonical_key` without the spec (for callers that hold a
     built system but no :class:`ModelSpec`, e.g. the legacy explorer)."""
-    if not multisocket:
-        sig: tuple = (
-            _socket_sig(system),
-            tuple(sorted(system.shadow._latest.items())))
-    else:
-        sig = (
-            tuple(_socket_sig(socket) for socket in system.sockets),
-            tuple(sorted(
-                (block, entry.state.value, entry.owner, entry.sharers)
-                for block, entry in system._entries.items()
-                if entry.sharers)),
-            tuple(sorted(system._garbage)),
-            tuple(sorted(system._dram_version.items())),
-            tuple(sorted(system.shadow._latest.items())))
-    raw = pickle.dumps(sig, protocol=pickle.HIGHEST_PROTOCOL)
-    return hashlib.blake2b(raw, digest_size=16).digest()
+    return _digest(system_sig(system, multisocket=multisocket))
 
 
 # ----------------------------------------------------------------------
@@ -165,7 +205,17 @@ def system_key(system, multisocket: bool = False) -> bytes:
 # ----------------------------------------------------------------------
 @dataclass
 class ModelCheckReport:
-    """Outcome of one memoized frontier exploration."""
+    """Outcome of one memoized frontier exploration.
+
+    Accounting contract (every exit path -- clean, counterexample,
+    ``max_states``, wall-clock budget -- obeys it):
+
+    * ``unique_states == 1 + sum(level_unique)`` (the root counts even
+      when it fails its own check);
+    * ``depth_reached == len(level_unique)`` == the deepest level at
+      which at least one transition was checked; the last entry may
+      describe a partially-explored level on a capped/refuted run.
+    """
 
     model: str
     depth: int
@@ -178,11 +228,17 @@ class ModelCheckReport:
     transitions: int = 0
     #: Successors discarded because their canonical state was known.
     dedup_hits: int = 0
-    #: New unique states per completed BFS level.
+    #: New unique states per explored BFS level (last may be partial).
     level_unique: Tuple[int, ...] = ()
     elapsed_s: float = 0.0
     #: True when max_states or the time budget stopped expansion early.
     capped: bool = False
+    #: Worker processes the frontier was partitioned across.
+    jobs: int = 1
+    #: Orbit-minimal canonicalization over core/block relabelings.
+    symmetry: bool = False
+    #: Relabelings in the symmetry group (1 = plain canonicalization).
+    group_size: int = 1
     counterexample: Optional[Counterexample] = None
 
     @property
@@ -195,6 +251,37 @@ class ModelCheckReport:
         before dedup, so duplicates are checked too -- soundness over
         the stats-excluding canonical key)."""
         return self.transitions
+
+    def identity_bytes(self) -> bytes:
+        """Canonical byte form for cross-worker-count comparison.
+
+        Everything semantic -- counters, the per-level ledger, the
+        counterexample path and error -- and nothing wall-clock
+        (``elapsed_s``) or execution-shape (``jobs``): reports from any
+        worker count of the same exploration must compare equal.
+        """
+        cex = None
+        if self.counterexample is not None:
+            cex = {
+                "sequence": [[core, op.value, block] for core, op, block
+                             in self.counterexample.sequence],
+                "error_type": type(self.counterexample.error).__name__,
+                "error": str(self.counterexample.error),
+            }
+        payload = {
+            "model": self.model, "depth": self.depth,
+            "alphabet_size": self.alphabet_size,
+            "mutation": self.mutation,
+            "depth_reached": self.depth_reached,
+            "unique_states": self.unique_states,
+            "transitions": self.transitions,
+            "dedup_hits": self.dedup_hits,
+            "level_unique": list(self.level_unique),
+            "capped": self.capped, "symmetry": self.symmetry,
+            "group_size": self.group_size, "counterexample": cex,
+        }
+        return json.dumps(payload, sort_keys=True,
+                          separators=(",", ":")).encode("utf-8")
 
     def counterexample_trace(self, name: str = "") -> FuzzTrace:
         """The failing prefix as a ``repro shrink``-compatible trace."""
@@ -214,6 +301,10 @@ class ModelCheckReport:
                 f"{self.transitions:,} transitions checked, "
                 f"{self.dedup_hits:,} dedup hits, "
                 f"{self.elapsed_s:.2f}s")
+        if self.symmetry:
+            head += f" (symmetry x{self.group_size})"
+        if self.jobs > 1:
+            head += f" (jobs {self.jobs})"
         if self.capped:
             head += " (capped)"
         if self.counterexample is not None:
@@ -224,6 +315,107 @@ class ModelCheckReport:
 # ----------------------------------------------------------------------
 # The frontier engine
 # ----------------------------------------------------------------------
+def _portable_error(error: BaseException) -> BaseException:
+    """Normalize a check failure so it is identical whether it crossed
+    a process boundary or not (reports must be bit-identical at any
+    worker count): pickle-roundtrip it, or wrap unpicklable errors."""
+    try:
+        return pickle.loads(pickle.dumps(error, pickle.HIGHEST_PROTOCOL))
+    except Exception:                  # noqa: BLE001 - best-effort wrap
+        return DivergenceError(f"{type(error).__name__}: {error}")
+
+
+@dataclass
+class _ExpandContext:
+    """Per-level worker context, inherited by fork workers through the
+    :data:`_EXPAND_CTX` module global (the ``parallel_map`` idiom for
+    unpicklable closures)."""
+
+    issue: Callable
+    check: Callable
+    canonical: Callable
+    trim: Callable
+    wake: Optional[Callable]
+    alphabet: Tuple[tuple, ...]
+    #: The frozen pre-level seen-set (workers only read it).
+    seen: set
+    deadline: Optional[float]
+    #: Per-worker cap on emitted candidate snapshots.  Set to
+    #: ``max_states - unique_states`` at level start: by the time the
+    #: merge needs a worker's (budget+1)-th candidate it has already
+    #: counted ``budget`` distinct new states (each earlier candidate
+    #: is fresh-at-merge or duplicates one counted earlier in merge
+    #: order), so the global cap fires first and truncation is exact.
+    candidate_budget: int
+
+
+_EXPAND_CTX: Optional[_ExpandContext] = None
+
+#: Per-transition outcome records emitted by workers and replayed by the
+#: serial merge: ("c", error) counterexample, ("d",) duplicate of a
+#: pre-level or partition-local state, ("n", key, snapshot) candidate.
+_REC_CEX, _REC_DUP, _REC_NEW = "c", "d", "n"
+
+
+def _expand_partition(nodes: Sequence[Tuple[bytes, tuple]]):
+    """Expand one contiguous frontier chunk against the pre-level
+    seen-set.  Returns ``(records_per_node, timed_out)``; stops early on
+    a counterexample, the candidate budget, or the deadline (the merge
+    provably never consumes past a truncation point)."""
+    ctx = _EXPAND_CTX
+    assert ctx is not None
+    local_new: set = set()
+    node_records: List[List[tuple]] = []
+    timed_out = False
+    for snapshot, _path in nodes:
+        if ctx.deadline is not None \
+                and time.perf_counter() > ctx.deadline:
+            timed_out = True
+            break
+        records: List[tuple] = []
+        node_records.append(records)
+        stop = False
+        for symbol in ctx.alphabet:
+            system = pickle.loads(snapshot)
+            if ctx.wake is not None:
+                ctx.wake(system)
+            try:
+                ctx.issue(system, symbol)
+                ctx.check(system)
+            except Exception as error:    # noqa: BLE001 - reported
+                records.append((_REC_CEX, _portable_error(error)))
+                stop = True
+                break
+            key = ctx.canonical(system)
+            if key in ctx.seen or key in local_new:
+                records.append((_REC_DUP,))
+                continue
+            local_new.add(key)
+            ctx.trim(system)
+            records.append(
+                (_REC_NEW, key,
+                 pickle.dumps(system, pickle.HIGHEST_PROTOCOL)))
+            if len(local_new) >= ctx.candidate_budget:
+                stop = True
+                break
+        if stop:
+            break
+    return node_records, timed_out
+
+
+def _partition(frontier: Sequence, jobs: int) -> List[Sequence]:
+    """Contiguous BFS-order chunks (concatenation == frontier order)."""
+    count = max(1, min(jobs, len(frontier)))
+    base, extra = divmod(len(frontier), count)
+    parts, start = [], 0
+    for index in range(count):
+        size = base + (1 if index < extra else 0)
+        if size:
+            parts.append(frontier[start:start + size])
+        start += size
+    return parts
+
+
 def _explore_frontier(report: ModelCheckReport,
                       build: Callable[[], object],
                       issue: Callable[[object, tuple], None],
@@ -232,10 +424,23 @@ def _explore_frontier(report: ModelCheckReport,
                       trim: Callable[[object], None],
                       alphabet: Sequence[tuple], depth: int,
                       max_states: int, budget_s: Optional[float],
-                      bus=None) -> ModelCheckReport:
+                      bus=None, jobs: int = 1,
+                      wake: Optional[Callable] = None
+                      ) -> ModelCheckReport:
     """Generic memoized BFS shared by the spec-level entry point and
-    :meth:`ExhaustiveExplorer.explore_memoized`."""
+    :meth:`ExhaustiveExplorer.explore_memoized`.
+
+    Per level: partition the frontier across ``jobs`` fork workers,
+    expand each chunk independently, then merge the per-transition
+    outcome records serially in partition -> node -> symbol order (the
+    serial BFS order), replaying every counter against the growing
+    seen-set.  ``jobs=1`` runs the identical expand/merge code in
+    process, so reports are bit-identical at any worker count.
+    """
+    global _EXPAND_CTX
     started = time.perf_counter()
+    deadline = None if budget_s is None else started + budget_s
+    alphabet = tuple(alphabet)
 
     def finish() -> ModelCheckReport:
         report.elapsed_s = time.perf_counter() - started
@@ -245,7 +450,14 @@ def _explore_frontier(report: ModelCheckReport,
     try:
         check(root)
     except Exception as error:            # noqa: BLE001 - reported
-        report.counterexample = Counterexample((), error)
+        # The root still counts as explored: unique_states stays equal
+        # to 1 + sum(level_unique) on this exit path too.
+        report.counterexample = Counterexample((),
+                                               _portable_error(error))
+        report.unique_states = 1
+        if bus is not None:
+            bus.step = 0
+            bus.emit(EventKind.MC_CEX, cause=type(error).__name__)
         return finish()
     trim(root)
     seen = {canonical(root)}
@@ -255,53 +467,100 @@ def _explore_frontier(report: ModelCheckReport,
     level_unique: List[int] = []
 
     for level in range(1, depth + 1):
-        successors: List[Tuple[bytes, tuple]] = []
+        if deadline is not None and time.perf_counter() > deadline:
+            report.capped = True
+            break
+        parts = _partition(frontier, jobs)
+        _EXPAND_CTX = _ExpandContext(
+            issue=issue, check=check, canonical=canonical, trim=trim,
+            wake=wake, alphabet=alphabet, seen=seen, deadline=deadline,
+            candidate_budget=max(1, max_states - report.unique_states))
+        try:
+            if len(parts) == 1:
+                outcomes = [_expand_partition(parts[0])]
+            else:
+                outcomes = parallel_map(_expand_partition, parts,
+                                        jobs=jobs, require_fork=True)
+        finally:
+            _EXPAND_CTX = None
+
+        # Serial merge in partition -> node -> symbol order: exactly
+        # the order the serial BFS checks transitions in.
         fresh = 0
-        for snapshot, path in frontier:
-            if budget_s is not None and \
-                    time.perf_counter() - started > budget_s:
-                report.capped = True
-                report.level_unique = tuple(level_unique)
-                return finish()
-            for symbol in alphabet:
-                system = pickle.loads(snapshot)
-                try:
-                    issue(system, symbol)
-                    check(system)
-                except Exception as error:   # noqa: BLE001 - reported
-                    report.counterexample = Counterexample(
-                        path + (symbol,), error)
-                    report.level_unique = tuple(level_unique)
-                    if bus is not None:
-                        bus.step = level
-                        bus.emit(EventKind.MC_CEX,
-                                 cause=type(error).__name__)
-                    return finish()
-                report.transitions += 1
-                key = canonical(system)
-                if key in seen:
-                    report.dedup_hits += 1
-                    continue
-                seen.add(key)
-                report.unique_states += 1
-                fresh += 1
-                if report.unique_states >= max_states:
-                    report.capped = True
-                    level_unique.append(fresh)
-                    report.level_unique = tuple(level_unique)
-                    return finish()
-                trim(system)
-                successors.append(
-                    (pickle.dumps(system, pickle.HIGHEST_PROTOCOL),
-                     path + (symbol,)))
-        level_unique.append(fresh)
-        report.depth_reached = level
+        processed = 0
+        next_frontier: List[Tuple[bytes, tuple]] = []
+        verdict = ""
+        timed_out = any(timed for _records, timed in outcomes)
+        for nodes, (node_records, _timed) in zip(parts, outcomes):
+            for (_snapshot, path), records in zip(nodes, node_records):
+                for symbol, record in zip(alphabet, records):
+                    processed += 1
+                    tag = record[0]
+                    if tag == _REC_CEX:
+                        report.counterexample = Counterexample(
+                            path + (symbol,), record[1])
+                        verdict = "cex"
+                        break
+                    report.transitions += 1
+                    if tag == _REC_DUP:
+                        report.dedup_hits += 1
+                        continue
+                    key, snapshot = record[1], record[2]
+                    if key in seen:
+                        report.dedup_hits += 1
+                        continue
+                    seen.add(key)
+                    report.unique_states += 1
+                    fresh += 1
+                    if report.unique_states >= max_states:
+                        verdict = "capped"
+                        break
+                    next_frontier.append((snapshot, path + (symbol,)))
+                if verdict:
+                    break
+            if verdict:
+                break
+        if not verdict and not timed_out \
+                and processed != len(frontier) * len(alphabet):
+            raise RuntimeError(
+                f"frontier merge consumed {processed} records for "
+                f"{len(frontier)}x{len(alphabet)} transitions at level "
+                f"{level} without capping -- worker truncation bug")
+        if not verdict and timed_out:
+            verdict = "budget"
+
         if bus is not None:
             bus.step = level
+            bus.emit(EventKind.MC_MERGE, core=len(parts),
+                     cause=f"{len(parts)}/{len(frontier)}/{processed}")
+        if verdict == "budget" and processed == 0:
+            # The budget expired before any level-``level`` transition
+            # was checked: no ledger entry, no depth credit.
+            report.capped = True
+            break
+        if processed:
+            level_unique.append(fresh)
+            report.depth_reached = level
+        if verdict == "cex":
+            report.level_unique = tuple(level_unique)
+            if bus is not None:
+                bus.emit(EventKind.MC_CEX,
+                         cause=type(
+                             report.counterexample.error).__name__)
+            return finish()
+        if verdict in ("capped", "budget"):
+            report.capped = True
+            report.level_unique = tuple(level_unique)
+            if bus is not None:
+                bus.emit(EventKind.MC_FRONTIER,
+                         cause=(f"{fresh}/{report.transitions}/"
+                                f"{report.dedup_hits}/capped"))
+            return finish()
+        if bus is not None:
             bus.emit(EventKind.MC_FRONTIER,
                      cause=(f"{fresh}/{report.transitions}/"
                             f"{report.dedup_hits}"))
-        frontier = successors
+        frontier = next_frontier
         if not frontier:
             break
     report.level_unique = tuple(level_unique)
@@ -330,6 +589,42 @@ def _spec_check(spec: ModelSpec):
     return check
 
 
+def _spec_canonical(spec: ModelSpec, group=()):
+    """The canonical-key closure for one exploration.
+
+    With a symmetry group, orbit-minimal keys are memoized by the plain
+    digest: duplicate successors (the majority of transitions) skip the
+    per-relabeling work entirely.  The memo is a pure-function cache, so
+    sharing or splitting it across worker processes cannot change any
+    key.
+    """
+    multisocket = spec.n_sockets > 1
+    if not group or len(group) <= 1:
+        def canonical(system) -> bytes:
+            return system_key(system, multisocket=multisocket)
+        return canonical
+    from repro.verify.symmetry import relabel_system_sig
+    dir_unbounded = spec.config.directory.unbounded
+    relabelings = tuple(r for r in group if not r.is_identity)
+    memo: Dict[bytes, bytes] = {}
+
+    def canonical(system) -> bytes:
+        sig = system_sig(system, multisocket=multisocket)
+        plain = _digest(sig)
+        best = memo.get(plain)
+        if best is not None:
+            return best
+        best = plain
+        for relabeling in relabelings:
+            other = _digest(relabel_system_sig(
+                sig, relabeling, multisocket, dir_unbounded))
+            if other < best:
+                best = other
+        memo[plain] = best
+        return best
+    return canonical
+
+
 def _spec_trim(spec: ModelSpec):
     from repro.verify.checks import each_socket
 
@@ -337,11 +632,39 @@ def _spec_trim(spec: ModelSpec):
         # The per-core shrink journal is a kernel-sync aid that grows
         # with every invalidation; modelcheck runs the scalar access
         # path only, so dropping it keeps snapshots O(state), not
-        # O(path).
+        # O(path).  Stats, the mesh, and the DRAM model are latency-only
+        # (already excluded from the canonical key, so nothing here can
+        # feed back into protocol decisions) -- stripping them roughly
+        # halves the snapshot; ``wake`` reattaches shared instances.
         for socket in each_socket(spec, system):
             for hier in socket.cores:
                 hier.shrink_log.clear()
+            socket.stats = None
+            socket.mesh = None
+            socket.dram = None
     return trim
+
+
+def _spec_wake(spec: ModelSpec):
+    from repro.verify.checks import each_socket
+
+    #: Per-process donor instances for the trimmed latency-only parts,
+    #: built lazily so fork workers each populate their own copy.  The
+    #: mesh and DRAM model hold the *same* stats object their socket
+    #: gets, preserving the construction-time aliasing.
+    donors: List[tuple] = []
+
+    def wake(system) -> None:
+        if not donors:
+            template = spec.build()
+            for socket in each_socket(spec, template):
+                donors.append((socket.stats, socket.mesh, socket.dram))
+        for socket, (stats, mesh, dram) in zip(
+                each_socket(spec, system), donors):
+            socket.stats = stats
+            socket.mesh = mesh
+            socket.dram = dram
+    return wake
 
 
 def build_alphabet(cores: Sequence[int] = MICRO_CORES,
@@ -359,7 +682,8 @@ def explore_model(spec: ModelSpec, depth: int,
                   mutation: str = "",
                   max_states: int = DEFAULT_MAX_STATES,
                   budget_s: Optional[float] = None,
-                  bus=None) -> ModelCheckReport:
+                  bus=None, jobs: int = 1,
+                  symmetry: bool = False) -> ModelCheckReport:
     """Exhaustively check ``spec`` to ``depth`` over the micro alphabet.
 
     ``symbols`` overrides the cores x ops x blocks cross product with an
@@ -367,12 +691,24 @@ def explore_model(spec: ModelSpec, depth: int,
     focus the alphabet on one bug's trigger set).  ``mutation`` arms a
     seeded bug from :mod:`repro.verify.mutations` on the root system
     (the armed flags survive snapshotting, so the whole frontier
-    explores the mutant protocol).
+    explores the mutant protocol).  ``jobs`` partitions each level
+    across fork workers (reports stay bit-identical); ``symmetry``
+    canonicalizes orbit-minimally over the sound core/block relabelings
+    of :func:`repro.verify.symmetry.symmetry_group` (core relabelings
+    are dropped automatically while a mutation is armed -- seeded bugs
+    may be core-id-dependent).
     """
     alphabet = (list(symbols) if symbols is not None
                 else build_alphabet(cores, blocks, ops))
+    group: tuple = ()
+    if symmetry:
+        from repro.verify.symmetry import symmetry_group
+        group = symmetry_group(spec, alphabet,
+                               cores_symmetric=not mutation)
     report = ModelCheckReport(spec.name, depth, len(alphabet),
-                              mutation=mutation)
+                              mutation=mutation, jobs=jobs,
+                              symmetry=bool(symmetry),
+                              group_size=max(1, len(group)))
 
     def build():
         system = spec.build()
@@ -383,21 +719,24 @@ def explore_model(spec: ModelSpec, depth: int,
 
     return _explore_frontier(
         report, build, _spec_issue(spec), _spec_check(spec),
-        lambda system: canonical_key(spec, system), _spec_trim(spec),
-        alphabet, depth, max_states, budget_s, bus=bus)
+        _spec_canonical(spec, group), _spec_trim(spec),
+        alphabet, depth, max_states, budget_s, bus=bus, jobs=jobs,
+        wake=_spec_wake(spec))
 
 
 def check_matrix(depth: int, models: Optional[Sequence[ModelSpec]] = None,
                  cores: Sequence[int] = MICRO_CORES,
                  blocks: Sequence[int] = MICRO_BLOCKS,
                  budget_s: Optional[float] = None,
-                 bus=None) -> List[ModelCheckReport]:
+                 bus=None, jobs: int = 1,
+                 symmetry: bool = False) -> List[ModelCheckReport]:
     """Every model of the matrix through the frontier (ZeroDEV policy x
     replacement x LLC design, plus both 2-socket solutions)."""
     from repro.verify.models import model_matrix
     specs = list(models) if models is not None else model_matrix()
     return [explore_model(spec, depth, cores=cores, blocks=blocks,
-                          budget_s=budget_s, bus=bus)
+                          budget_s=budget_s, bus=bus, jobs=jobs,
+                          symmetry=symmetry)
             for spec in specs]
 
 
@@ -423,6 +762,9 @@ class StatsComparison:
     #: replay's clock (real replay never canonicalized anything).
     replay_unique: int = 0
     replay_elapsed_s: float = 0.0
+    #: A check failure during replay, reported instead of raised: the
+    #: stats gate always returns a comparison, even on a faulty model.
+    replay_error: str = ""
 
     @property
     def ratio(self) -> float:
@@ -430,23 +772,32 @@ class StatsComparison:
 
     def summary(self) -> str:
         f = self.frontier
-        return (
+        mode = ""
+        if f.symmetry:
+            mode += f", symmetry x{f.group_size}"
+        if f.jobs > 1:
+            mode += f", jobs {f.jobs}"
+        lines = (
             f"{self.model} @ depth {self.depth} "
-            f"({f.elapsed_s:.2f}s wall-clock each):\n"
+            f"({f.elapsed_s:.2f}s wall-clock each{mode}):\n"
             f"  frontier: {f.unique_states:,} unique canonical states "
             f"({f.transitions:,} transitions, {f.dedup_hits:,} dedup "
-            f"hits)\n"
+            f"hits, depth {f.depth_reached} reached)\n"
             f"  replay:   {self.replay_unique:,} unique states "
             f"({self.replay_sequences:,} sequences replayed, working at "
             f"depth {self.replay_depth})\n"
             f"  frontier checks {self.ratio:.1f}x more unique states "
             f"at equal wall-clock")
+        if self.replay_error:
+            lines += f"\n  replay check failure: {self.replay_error}"
+        return lines
 
 
 def frontier_vs_replay(spec: ModelSpec, depth: int,
                        cores: Sequence[int] = MICRO_CORES,
                        blocks: Sequence[int] = MICRO_BLOCKS,
-                       max_states: int = DEFAULT_MAX_STATES
+                       max_states: int = DEFAULT_MAX_STATES,
+                       jobs: int = 1, symmetry: bool = False
                        ) -> StatsComparison:
     """Run the frontier to ``depth``, then give per-sequence replay the
     same wall-clock and count what it covers.
@@ -455,38 +806,58 @@ def frontier_vs_replay(spec: ModelSpec, depth: int,
     do -- fresh system per sequence, one access plus one invariant check
     per step, iterative deepening so shallow depths complete first.  Its
     unique-state count is measured exactly by canonicalizing every state
-    it passes through, but that canonicalization cost is subtracted from
-    replay's clock (real replay never did any), which errs in replay's
-    favour.
+    it passes through (with the same symmetry group as the frontier, so
+    the counts compare like for like), but that canonicalization cost is
+    subtracted from replay's clock (real replay never did any), which
+    errs in replay's favour.  The wall-clock budget is enforced per
+    *access*, and a check failure during replay is reported through
+    ``replay_error`` instead of escaping the gate.
     """
     frontier = explore_model(spec, depth, cores=cores, blocks=blocks,
-                             max_states=max_states)
+                             max_states=max_states, jobs=jobs,
+                             symmetry=symmetry)
     budget = frontier.elapsed_s
     alphabet = build_alphabet(cores, blocks)
     issue = _spec_issue(spec)
     check = _spec_check(spec)
+    group: tuple = ()
+    if symmetry:
+        from repro.verify.symmetry import symmetry_group
+        group = symmetry_group(spec, alphabet)
+    canonical = _spec_canonical(spec, group)
     comparison = StatsComparison(spec.name, depth, frontier)
 
-    seen = {canonical_key(spec, spec.build())}
+    seen = {canonical(spec.build())}
     canon_overhead = 0.0
     started = time.perf_counter()
-    out_of_time = False
+    halted = False
     for d in itertools.count(1):
         comparison.replay_depth = d
         for sequence in itertools.product(alphabet, repeat=d):
             system = spec.build()
+            completed = True
             for symbol in sequence:
-                issue(system, symbol)
-                check(system)
+                if time.perf_counter() - started - canon_overhead \
+                        > budget:
+                    halted, completed = True, False
+                    break
+                try:
+                    issue(system, symbol)
+                    check(system)
+                except Exception as error:  # noqa: BLE001 - reported
+                    comparison.replay_error = (
+                        f"{type(error).__name__}: {error}")
+                    halted, completed = True, False
+                    break
                 comparison.replay_accesses += 1
                 canon_started = time.perf_counter()
-                seen.add(canonical_key(spec, system))
+                seen.add(canonical(system))
                 canon_overhead += time.perf_counter() - canon_started
-            comparison.replay_sequences += 1
-            if time.perf_counter() - started - canon_overhead > budget:
-                out_of_time = True
+            if completed:
+                comparison.replay_sequences += 1
+            if halted:
                 break
-        if out_of_time:
+        if halted:
             break
     comparison.replay_elapsed_s = (
         time.perf_counter() - started - canon_overhead)
@@ -525,7 +896,8 @@ def mutation_gate(names: Optional[Sequence[str]] = None,
                   fuzz_budget: int = 4, fuzz_seed: int = 7,
                   fuzz_steps: int = 12,
                   max_depth: Optional[int] = None,
-                  run_fuzz: bool = True) -> List[MutationVerdict]:
+                  run_fuzz: bool = True, jobs: int = 1,
+                  symmetry: bool = False) -> List[MutationVerdict]:
     """Run every seeded mutation under modelcheck and the fuzz baseline.
 
     The fuzz baseline is a real :func:`run_campaign` pass -- fixed seed,
@@ -536,7 +908,8 @@ def mutation_gate(names: Optional[Sequence[str]] = None,
     micro geometry and stumble into almost any seam, which would hide
     the coverage gap the gate exists to demonstrate.  The gate the tests
     and CI assert: every mutation caught by modelcheck, at least one
-    missed by fuzz.
+    missed by fuzz (and, with ``symmetry=True``, still every mutation
+    caught under orbit-minimal canonicalization).
     """
     from repro.verify.mutations import (MUTATIONS, mutant_spec,
                                         reference_spec)
@@ -557,7 +930,8 @@ def mutation_gate(names: Optional[Sequence[str]] = None,
         depth_cap = max_depth or mutation.catch_depth
         report = explore_model(spec, depth_cap, blocks=mutation.blocks,
                                symbols=mutation.symbols or None,
-                               mutation=name)
+                               mutation=name, jobs=jobs,
+                               symmetry=symmetry)
         if not report.ok:
             verdict.caught_by_modelcheck = True
             verdict.catch_depth = len(report.counterexample.sequence)

@@ -27,7 +27,8 @@ from repro.obs.bus import EventBus
 from repro.obs.events import EventKind
 from repro.verify import run_campaign, run_trace, shrink_trace
 from repro.verify.checks import DivergenceError, shadow_of
-from repro.verify.modelcheck import (MICRO_BLOCKS, build_alphabet,
+from repro.verify.modelcheck import (MICRO_BLOCKS, ModelCheckReport,
+                                     _explore_frontier, build_alphabet,
                                      canonical_key, explore_model,
                                      frontier_vs_replay, mutation_gate)
 from repro.verify.models import model_by_name, model_matrix
@@ -140,6 +141,154 @@ class TestFrontier:
                   if e.kind is EventKind.MC_FRONTIER]
         assert [e.step for e in levels] == [1, 2]
         assert all(len(e.cause.split("/")) == 3 for e in levels)
+
+    def test_max_states_mid_level_advances_depth(self):
+        # Regression: the cap used to return without advancing
+        # depth_reached past the last *complete* level, even though the
+        # capped level's transitions were checked and its fresh states
+        # counted.  Every exit must leave the ledger consistent.
+        report = explore_model(spec_of(), 4, max_states=50)
+        assert report.ok and report.capped
+        assert report.unique_states == 50  # the cap is exact
+        assert report.depth_reached == len(report.level_unique)
+        assert report.level_unique[-1] > 0  # the partial level counts
+        assert report.unique_states == 1 + sum(report.level_unique)
+        assert report.transitions == \
+            report.unique_states - 1 + report.dedup_hits
+
+    def test_budget_mid_level_keeps_partial_fresh(self, monkeypatch):
+        # Regression: budget expiry used to discard the in-progress
+        # level's fresh count.  A fake clock (+0.1s per invariant
+        # check) expires the deadline deterministically after the first
+        # node of level 2: the partial level must appear in the ledger.
+        import repro.verify.modelcheck as mc
+
+        class FakeTime:
+            now = 0.0
+
+            @classmethod
+            def perf_counter(cls):
+                return cls.now
+
+        monkeypatch.setattr(mc, "time", FakeTime)
+        alphabet = [1, 2, 3]
+
+        def issue(system, symbol):
+            system.append(symbol)
+
+        def check(system):
+            FakeTime.now += 0.1
+
+        report = ModelCheckReport("toy", 3, len(alphabet))
+        # Root check: t=0.1.  Level 1 (3 checks): t=0.4.  Level 2 node
+        # 1 (3 checks): t=0.7 > deadline -> timed out before node 2.
+        _explore_frontier(
+            report, list, issue, check,
+            lambda s: repr(s).encode(), lambda s: None,
+            alphabet, 3, 250_000, budget_s=0.65)
+        assert report.ok and report.capped
+        assert report.level_unique == (3, 3)
+        assert report.depth_reached == 2
+        assert report.unique_states == 1 + sum(report.level_unique)
+
+    def test_budget_before_any_transition_adds_no_ledger_entry(
+            self, monkeypatch):
+        # The complement: expiry *before* any level-2 transition is
+        # checked must not invent an empty ledger entry.
+        import repro.verify.modelcheck as mc
+
+        class FakeTime:
+            now = 0.0
+
+            @classmethod
+            def perf_counter(cls):
+                return cls.now
+
+        monkeypatch.setattr(mc, "time", FakeTime)
+
+        def check(system):
+            FakeTime.now += 0.1
+
+        report = ModelCheckReport("toy", 3, 2)
+        _explore_frontier(
+            report, list, lambda s, a: s.append(a), check,
+            lambda s: repr(s).encode(), lambda s: None,
+            [1, 2], 3, 250_000, budget_s=0.25)
+        # Root t=0.1, level 1 completes at t=0.3 (one node, so its
+        # mid-node expiry is only seen at the next boundary); level 2's
+        # pre-level deadline check fires with 0 transitions processed.
+        assert report.ok and report.capped
+        assert report.level_unique == (2,)
+        assert report.depth_reached == 1
+        assert report.unique_states == 1 + sum(report.level_unique)
+
+    def test_root_counterexample_accounting(self):
+        # Regression: a root-level check failure used to return with
+        # level_unique unset and unique_states == 0 -- the root was
+        # explored, so it must be counted.
+        def check(system):
+            raise DivergenceError("root is already broken")
+
+        report = ModelCheckReport("toy", 3, 2)
+        _explore_frontier(
+            report, list, lambda s, a: s.append(a), check,
+            lambda s: repr(s).encode(), lambda s: None,
+            [1, 2], 3, 250_000, None)
+        assert not report.ok
+        assert report.counterexample.sequence == ()
+        assert report.unique_states == 1
+        assert report.level_unique == ()
+        assert report.depth_reached == 0
+
+    def test_mid_level_counterexample_accounting(self):
+        mutation = MUTATIONS["skip-corrupt-restore"]
+        spec = reference_spec(mutation.reference_model)
+        report = explore_model(spec, mutation.catch_depth,
+                               blocks=mutation.blocks,
+                               mutation=mutation.name)
+        assert not report.ok
+        assert report.depth_reached == len(report.level_unique)
+        assert report.unique_states == 1 + sum(report.level_unique)
+
+    def test_capped_frontier_event_carries_status(self):
+        # Regression: capped exits used to emit no MC_FRONTIER at all,
+        # so a capped trace looked like a short clean run.  The final
+        # event now carries a fourth "capped" part.
+        class Sink:
+            def __init__(self):
+                self.events = []
+
+            def handle(self, event):
+                self.events.append(event)
+
+        bus, sink = EventBus(), Sink()
+        bus.subscribe(sink)
+        explore_model(spec_of(), 4, max_states=50, bus=bus)
+        levels = [e for e in sink.events
+                  if e.kind is EventKind.MC_FRONTIER]
+        assert levels, "capped run emitted no MC_FRONTIER events"
+        assert levels[-1].cause.split("/")[-1] == "capped"
+        assert len(levels[-1].cause.split("/")) == 4
+
+    def test_merge_events_report_partition_shape(self):
+        class Sink:
+            def __init__(self):
+                self.events = []
+
+            def handle(self, event):
+                self.events.append(event)
+
+        bus, sink = EventBus(), Sink()
+        bus.subscribe(sink)
+        explore_model(spec_of(), 2, bus=bus, jobs=2)
+        merges = [e for e in sink.events
+                  if e.kind is EventKind.MC_MERGE]
+        assert [e.step for e in merges] == [1, 2]
+        for event in merges:
+            partitions, frontier, transitions = \
+                (int(part) for part in event.cause.split("/"))
+            assert event.core == partitions <= 2
+            assert transitions <= frontier * len(build_alphabet())
 
     def test_explore_memoized_bridges_legacy_explorer(self):
         from repro.coherence.exhaustive import ExhaustiveExplorer
@@ -259,7 +408,52 @@ class TestMutations:
         assert "caught at depth" in verdicts[0].summary()
 
 
+class TestParallelDeterminism:
+    """jobs in {1, 2, 4} must produce byte-identical reports: counters,
+    the per-level ledger, and the (BFS-first) counterexample path."""
+
+    def identity_set(self, **kwargs):
+        return {explore_model(jobs=jobs, **kwargs).identity_bytes()
+                for jobs in (1, 2, 4)}
+
+    def test_clean_model_reports_identical(self):
+        assert len(self.identity_set(spec=spec_of(), depth=3)) == 1
+
+    def test_denf_nack_counterexample_identical(self):
+        mutation = MUTATIONS["skip-denf-nack"]
+        spec = reference_spec(mutation.reference_model)
+        assert len(self.identity_set(
+            spec=spec, depth=mutation.catch_depth,
+            blocks=mutation.blocks, symbols=mutation.symbols or None,
+            mutation=mutation.name)) == 1
+
+    def test_capped_run_reports_identical(self):
+        # The hard case: the max_states cap must fire at the same
+        # transition regardless of how the frontier was partitioned.
+        assert len(self.identity_set(spec=spec_of(), depth=4,
+                                     max_states=50)) == 1
+
+    def test_identity_bytes_excludes_wallclock(self):
+        report = explore_model(spec_of(), 2)
+        before = report.identity_bytes()
+        report.elapsed_s += 123.0
+        report.jobs = 8
+        assert report.identity_bytes() == before
+
+
 class TestStatsComparison:
+    def test_replay_fault_is_reported_not_raised(self):
+        # Regression: a faulting model used to escape the stats gate as
+        # an unhandled exception; it must surface as a verdict.
+        mutation = MUTATIONS["skip-corrupt-restore"]
+        spec = reference_spec(mutation.reference_model)
+        comparison = frontier_vs_replay(
+            mutant_spec(spec, mutation.name), 3,
+            blocks=mutation.blocks)
+        assert not comparison.frontier.ok
+        assert comparison.replay_error
+        assert "replay check failure" in comparison.summary()
+
     def test_frontier_beats_replay_at_equal_wallclock(self):
         # The full >=10x claim needs depth 8 (~3 minutes) and lives in
         # ``repro modelcheck --stats``; this is the cheap monotone
