@@ -91,6 +91,8 @@ SECTIONS = [
     ("fig25", "Figure 25 — EPD and inclusive LLCs"),
     ("fig26", "Figure 26 — Multi-grain Directory comparison"),
     ("fig27", "Figure 27 — SecDir comparison"),
+    ("fig_contenders",
+     "Contender study — DLS and hybrid update/invalidate"),
     ("energy", "Section V — energy expense"),
     ("multisocket", "Section V — multi-socket evaluation"),
     ("ablation_replacement",

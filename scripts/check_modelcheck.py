@@ -5,8 +5,10 @@ Five assertions, mirroring the contract in PROTOCOL.md:
 
 1. **Clean matrix.** Every model of the verification matrix (all
    ZeroDEV policy x replacement x LLC designs, the sparse baselines,
-   SecDir, MgD, and both 2-socket solutions) explores to the CI depth
-   over the micro alphabet with zero counterexamples.
+   SecDir, MgD, the DLS and hybrid update/invalidate contenders, and
+   both 2-socket solutions) explores to the CI depth over the micro
+   alphabet with zero counterexamples -- the contenders' presence is
+   asserted, so the matrix cannot silently shrink back to 14.
 2. **The checker catches what fuzz misses.** Every seeded protocol
    mutation from repro.verify.mutations is refuted by the frontier at
    its documented depth, while the pinned fixed-seed, fixed-budget,
@@ -50,6 +52,12 @@ def main() -> int:
     reports = check_matrix(CI_DEPTH)
     for report in reports:
         print(report.summary())
+    explored = {r.model for r in reports}
+    missing_contenders = {"dls", "hybrid"} - explored
+    if missing_contenders:
+        print("FAIL: contender model(s) absent from the clean-matrix "
+              "leg: " + ", ".join(sorted(missing_contenders)))
+        return 1
     failures = [r for r in reports if not r.ok]
     if failures:
         print(f"FAIL: {len(failures)} counterexample(s) at depth "

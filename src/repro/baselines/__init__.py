@@ -1,8 +1,12 @@
-"""Comparison systems: SecDir (ISCA'19) and Multi-grain Directory
-(MICRO'13). The unbounded-directory reference is a configuration of the
-baseline (``DirectoryConfig(unbounded=True)``), not a separate class."""
+"""Comparison systems: SecDir (ISCA'19), Multi-grain Directory
+(MICRO'13), DLS (arXiv:1206.4753), and the hybrid update/invalidate
+protocol (arXiv:1502.00101). The unbounded-directory reference is a
+configuration of the baseline (``DirectoryConfig(unbounded=True)``),
+not a separate class."""
 
+from repro.baselines.dls import DLSSystem
+from repro.baselines.hybrid import HybridSystem
 from repro.baselines.secdir import SecDirSystem
 from repro.baselines.mgd import MgDSystem
 
-__all__ = ["MgDSystem", "SecDirSystem"]
+__all__ = ["DLSSystem", "HybridSystem", "MgDSystem", "SecDirSystem"]

@@ -186,6 +186,24 @@ class PrivateHierarchy:
         line.dirty = False
         return line
 
+    def refresh_version(self, block: int, version: int) -> None:
+        """Apply a hybrid UPDATE push: refresh an S copy's data in place.
+
+        The line stays S (the update protocol keeps every sharer
+        readable, nobody gains ownership) and stays clean -- the writer
+        writes the new version through to the LLC, so the pushed copy
+        never needs writing back.  No journal entry: safety shrinks only
+        when membership or S-ness changes, and a version refresh changes
+        neither (S writes are already classified unsafe).
+        """
+        line = self._l2.peek(block)
+        if line is None or line.state is not MESI.S:
+            raise ProtocolInvariantError(
+                f"core {self.core} received an update for block "
+                f"{block:#x} it does not share "
+                f"(state={line.state if line else None})")
+        line.version = version
+
     def set_state(self, block: int, state: MESI) -> None:
         line = self._l2.peek(block)
         if line is None:

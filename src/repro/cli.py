@@ -55,7 +55,8 @@ import os
 import sys
 
 from repro.common.config import (DirCachingPolicy, DirectoryConfig,
-                                 LLCReplacement, Protocol, scaled_socket)
+                                 LLCDesign, LLCReplacement, Protocol,
+                                 scaled_socket)
 from repro.common.errors import ConfigError
 from repro.harness import experiments
 from repro.harness.reporting import ascii_bars
@@ -81,6 +82,7 @@ EXPERIMENTS = {
     "fig25": experiments.fig25_epd_inclusive,
     "fig26": experiments.fig26_mgd,
     "fig27": experiments.fig27_secdir,
+    "contenders": experiments.fig_contenders,
     "energy": experiments.energy_comparison,
     "multisocket": experiments.multisocket_comparison,
 }
@@ -148,6 +150,12 @@ def _command_verify(args) -> int:
     """Bounded-exhaustive protocol verification (see PROTOCOL.md §6)."""
     if args.kernel_diff:
         return _verify_kernel_diff(args)
+    if args.seed is not None and not args.samples:
+        # A silently ignored seed makes "repro verify --seed N" look
+        # like it varied the run when it exhausted the same tree.
+        raise ConfigError(
+            "--seed only applies to sampled exploration; add --samples "
+            "N (or --kernel-diff, whose campaign is seeded)")
     from repro.coherence.exhaustive import ExhaustiveExplorer
     from repro.common.config import CacheGeometry, SystemConfig
 
@@ -162,16 +170,22 @@ def _command_verify(args) -> int:
                 protocol=Protocol.ZERODEV,
                 directory=DirectoryConfig(ratio=None),
                 llc_replacement=LLCReplacement.DATA_LRU)
+        if args.protocol == "dls":
+            return base.with_(
+                protocol=Protocol.DLS,
+                directory=DirectoryConfig(ratio=None),
+                llc_design=LLCDesign.INCLUSIVE)
         return base.with_(protocol=Protocol(args.protocol))
 
     explorer = ExhaustiveExplorer(micro, cores=(0, 1), blocks=(0, 8, 1))
     if args.samples:
+        seed = args.seed if args.seed is not None else 0
         report = explorer.explore_sampled(depth=args.depth,
                                           samples=args.samples,
-                                          seed=args.seed,
+                                          seed=seed,
                                           jobs=args.jobs or 1)
         print(f"{args.protocol}: sampled {report.sequences_explored:,} "
-              f"of the depth-{args.depth} sequences (seed {args.seed}), "
+              f"of the depth-{args.depth} sequences (seed {seed}), "
               f"checked {report.states_checked:,} states")
     else:
         report = explorer.explore(depth=args.depth)
@@ -199,7 +213,8 @@ def _verify_kernel_diff(args) -> int:
                 f"choose from "
                 f"{', '.join(k for k in KERNELS if k != 'scalar')}")
     report = run_kernel_diff(
-        seed=args.seed, budget=args.budget,
+        seed=args.seed if args.seed is not None else 0,
+        budget=args.budget,
         check_every=args.check_every,
         steps_per_trace=args.steps_per_trace, out_dir=args.out,
         kernels=kernels)
@@ -557,8 +572,9 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument("--samples", type=int, default=0,
                         help="sample this many sequences instead of "
                              "exhausting the depth (0 = exhaustive)")
-    verify.add_argument("--seed", type=int, default=0,
-                        help="sampling seed (with --samples)")
+    verify.add_argument("--seed", type=int, default=None,
+                        help="sampling seed (needs --samples) or "
+                             "kernel-diff campaign seed (default 0)")
     verify.add_argument("--jobs", type=_jobs_argument, default=None,
                         help="worker processes (with --samples)")
     verify.add_argument("--kernel-diff", action="store_true",

@@ -91,6 +91,8 @@ class Protocol(enum.Enum):
     ZERODEV = "zerodev"               # the paper's contribution
     SECDIR = "secdir"                 # Yan et al., ISCA 2019
     MGD = "mgd"                       # Multi-grain Directory, MICRO 2013
+    DLS = "dls"                       # directoryless shared LLC (1206.4753)
+    HYBRID = "hybrid"                 # update/invalidate hybrid (1502.00101)
 
 
 class DirCachingPolicy(enum.Enum):
@@ -234,16 +236,34 @@ class SystemConfig:
         if self.llc.blocks % self.llc_banks:
             raise ConfigError("LLC blocks must divide evenly across banks")
         if not self.directory.present and self.protocol not in (
-                Protocol.ZERODEV,):
+                Protocol.ZERODEV, Protocol.DLS):
             raise ConfigError(
                 f"{self.protocol.value} requires a sparse directory; only "
-                "ZeroDEV can run with no directory structure at all")
+                "ZeroDEV and DLS can run with no directory structure at all")
         if (self.protocol is Protocol.ZERODEV
                 and self.llc_replacement is LLCReplacement.LRU):
             # Plain LRU cannot guarantee a block is evicted before its
             # spilled entry, breaking the Section III-D2 invariant.
             raise ConfigError(
                 "ZeroDEV requires spLRU or dataLRU (Section III-D1/D2)")
+        if self.protocol is Protocol.DLS:
+            # DLS keeps all coherence state on the shared LLC's tag array:
+            # a tracked block *is* an LLC-resident line, so the LLC must be
+            # inclusive, there is no separate directory structure, and the
+            # spill-aware replacement policies are meaningless (nothing
+            # ever spills).
+            if self.directory.present:
+                raise ConfigError(
+                    "DLS resolves coherence at the shared LLC; configure "
+                    "directory=DirectoryConfig(ratio=None)")
+            if self.llc_design is not LLCDesign.INCLUSIVE:
+                raise ConfigError(
+                    "DLS requires an inclusive LLC (every privately cached "
+                    "block must keep its LLC line, which holds the sharer "
+                    "state)")
+            if self.llc_replacement is not LLCReplacement.LRU:
+                raise ConfigError(
+                    "DLS has no spilled entries; use plain LRU replacement")
 
     # ------------------------------------------------------------------
     @property

@@ -56,6 +56,12 @@ class MessageType(enum.Enum):
     FWD_WITH_DE = enum.auto()      # re-forward carrying the extracted entry
     EVICT_ACK = enum.auto()        # ack retrieving low bits from last sharer
 
+    # Hybrid update/invalidate contender (arXiv:1502.00101): a write to a
+    # shared line pushes the new data to every other sharer instead of
+    # invalidating it.
+    UPDATE = enum.auto()           # data push to a sharer on an S write
+    UPDATE_ACK = enum.auto()       # sharer -> writer, update applied
+
     # Inter-socket messages (Section III-D3..D5).
     SOCKET_GETS = enum.auto()
     SOCKET_GETX = enum.auto()
@@ -69,6 +75,7 @@ _DATA_CARRYING = {
     MessageType.DATA,
     MessageType.DATA_EXCLUSIVE,
     MessageType.WRITEBACK,
+    MessageType.UPDATE,
     MessageType.WB_DE,
     MessageType.DE_DATA,
     MessageType.FWD_WITH_DE,

@@ -48,6 +48,10 @@ class SystemStats:
     inclusion_invalidations: int = 0  # inclusive-LLC back-invalidations
     region_demotions: int = 0       # MgD region entries broken by sharing
 
+    # Hybrid update/invalidate contender events (arXiv:1502.00101).
+    update_pushes: int = 0          # S-state write hits served by pushing
+    updates_sent: int = 0           # per-sharer UPDATE data messages
+
     # ZeroDEV-specific events.
     entries_spilled: int = 0        # entries allocated in LLC, spilled form
     entries_fused: int = 0          # entries allocated in LLC, fused form

@@ -178,7 +178,8 @@ def speedup_of(base: RunResult, new: RunResult, suite: str) -> float:
 _AGGREGATE_FIELDS = ("dram_writes", "dram_writes_entry_eviction",
                      "llc_read_misses", "corrupted_block_reads",
                      "dev_invalidations", "wb_de_messages",
-                     "get_de_messages")
+                     "get_de_messages", "inclusion_invalidations",
+                     "update_pushes", "updates_sent")
 
 
 def compare_suites(base_config: SystemConfig,
@@ -798,6 +799,75 @@ def fig27_secdir() -> Tuple[Table, dict]:
             table.add(f"{suite} {label} avg", geomean(values))
             table.add(f"{suite} {label} min", min(values),
                       paper=paper_min.get((suite, label)))
+    return table, results
+
+
+# ----------------------------------------------------------------------
+# Contender study: DLS and hybrid update/invalidate
+# ----------------------------------------------------------------------
+@_instrumented
+def fig_contenders() -> Tuple[Table, dict]:
+    """Contender protocols versus ZeroDEV.
+
+    DLS (arXiv:1206.4753) removes the directory by resolving coherence
+    at an inclusive shared LLC -- zero DEVs by construction, but every
+    LLC conflict eviction back-invalidates the sharers (inclusion
+    victims).  The hybrid update/invalidate protocol (arXiv:1502.00101)
+    keeps the sparse directory and converts S-state write hits into
+    update pushes -- upgrades (and their invalidation storms) disappear,
+    but every shared write pays a data fan-out.  Both fix *a* symptom of
+    directory pressure; neither removes the directory-capacity conflict
+    itself the way ZeroDEV does, which is the gap this figure measures.
+    """
+    base_config = default_config()
+    # At the default geometry the LLC dwarfs the private caches and
+    # inclusion costs nothing; the quarter-size LLC (= aggregate L2
+    # capacity) is where DLS's forced invalidations have to show.
+    quarter_llc = CacheGeometry(base_config.llc.size_bytes // 4,
+                                base_config.llc.ways)
+    dls = base_config.with_(
+        protocol=Protocol.DLS,
+        directory=DirectoryConfig(ratio=None),
+        llc_design=LLCDesign.INCLUSIVE)
+    configs = {
+        "DLS": dls,
+        "DLS-1/4LLC": dls.with_(llc=quarter_llc),
+        "Hybrid-1x": base_config.with_(protocol=Protocol.HYBRID),
+        "Hybrid-1/32x": base_config.with_(
+            protocol=Protocol.HYBRID,
+            directory=DirectoryConfig(ratio=1 / 32)),
+        "Base-1/32x": base_config.with_(
+            directory=DirectoryConfig(ratio=1 / 32)),
+        "ZDev-NoDir": zerodev_config(base_config, ratio=None),
+        "ZDev-1/4LLC": zerodev_config(base_config, ratio=None,
+                                      llc=quarter_llc),
+    }
+    suites = list(MT_SUITES) + ["CPU2017"]
+    results = compare_suites(base_config, configs, suites)
+    table = Table("Contender study: DLS and hybrid update/invalidate "
+                  "(normalized to 1x baseline)")
+    for suite in suites:
+        for label in configs:
+            values = list(results[label][suite].values())
+            table.add(f"{suite} {label} avg", geomean(values))
+            table.add(f"{suite} {label} min", min(values))
+    agg = results["_aggregates"]
+    table.add("DLS DEV invalidations", agg["DLS"]["dev_invalidations"],
+              paper=0.0, note="zero by construction (no directory)")
+    table.add("DLS inclusion invalidations",
+              agg["DLS"]["inclusion_invalidations"],
+              note="the DLS loss mechanism: conflict victims kill sharers")
+    table.add("DLS-1/4LLC inclusion invalidations",
+              agg["DLS-1/4LLC"]["inclusion_invalidations"],
+              note="under LLC pressure the storms multiply")
+    table.add("Hybrid-1x update pushes",
+              agg["Hybrid-1x"]["update_pushes"],
+              note="S-state write hits served by pushing, not upgrading")
+    table.add("Hybrid-1x updates sent", agg["Hybrid-1x"]["updates_sent"],
+              note="per-sharer UPDATE data messages (the fan-out cost)")
+    table.add("Hybrid-1/32x DEV invalidations",
+              agg["Hybrid-1/32x"]["dev_invalidations"],
+              note="updates do not shield the undersized directory")
     return table, results
 
 

@@ -39,4 +39,10 @@ def build_system(config: SystemConfig) -> CMPSystem:
     if config.protocol is Protocol.MGD:
         from repro.baselines.mgd import MgDSystem
         return MgDSystem(config)
+    if config.protocol is Protocol.DLS:
+        from repro.baselines.dls import DLSSystem
+        return DLSSystem(config)
+    if config.protocol is Protocol.HYBRID:
+        from repro.baselines.hybrid import HybridSystem
+        return HybridSystem(config)
     raise ValueError(f"unknown protocol {config.protocol!r}")

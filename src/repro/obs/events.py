@@ -48,6 +48,13 @@ class EventKind(enum.Enum):
     MEM_RESTORE = "mem_restore"    # corrupted block restored from a cache
     MEM_HEAL = "mem_heal"          # real-data writeback healed the image
 
+    # Hybrid update/invalidate contender (repro.baselines.hybrid): a
+    # write to a shared block pushes data to its sharers instead of
+    # invalidating them, so these never coincide with a PRIV_INV --
+    # update pushes must not be mistaken for eviction victims in the
+    # DEV accounting (``core`` = the sharer receiving the update).
+    UPDATE_PUSH = "update_push"
+
     # LLC.
     LLC_EVICT = "llc_evict"        # replacement victim (cause = frame kind)
 

@@ -29,12 +29,14 @@ re-executing.
 from __future__ import annotations
 
 import json
+import math
 import os
 import time
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import List, Optional
 
+from repro.common.errors import ConfigError
 from repro.common.ioutil import atomic_write_text
 
 #: Default seconds without a heartbeat before a lease is reclaimable.
@@ -71,9 +73,17 @@ class LeaseQueue:
     """The shared todo/lease directory (see module docstring)."""
 
     def __init__(self, directory, ttl: float = DEFAULT_TTL) -> None:
+        ttl = float(ttl)
+        # A zero/negative TTL makes every live lease instantly
+        # reclaimable (workers steal each other's runs); a non-finite
+        # one makes dead workers' leases unreclaimable forever.
+        if not math.isfinite(ttl) or ttl <= 0:
+            raise ConfigError(
+                f"lease TTL must be a positive finite number of "
+                f"seconds, got {ttl!r}")
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
-        self.ttl = float(ttl)
+        self.ttl = ttl
 
     # -- naming --------------------------------------------------------
     def _stem(self, job: str, index: int) -> str:

@@ -22,8 +22,8 @@ The checks cover what the systems' own ``check_invariants`` does not:
 
 from __future__ import annotations
 
-from repro.caches.block import LineKind
-from repro.common.config import LLCReplacement
+from repro.caches.block import LineKind, MESI
+from repro.common.config import LLCReplacement, Protocol
 from repro.common.errors import ProtocolInvariantError
 from repro.verify.models import ModelSpec
 
@@ -107,12 +107,98 @@ def check_housing(spec: ModelSpec, system) -> None:
                     "is housed in memory (case iiib)")
 
 
+def check_dls(spec: ModelSpec, system) -> None:
+    """DLS occupancy/housing rules (repro.baselines.dls).
+
+    There is no directory structure and nothing ever spills or is
+    housed; the LLC's DATA frames carry the sharer vectors, and
+    inclusion demands that every privately cached block keeps an
+    entry-bearing LLC line.
+    """
+    for socket in each_socket(spec, system):
+        if socket.directory is not None:
+            raise DivergenceError("DLS grew a directory structure")
+        if getattr(socket, "_housing", None) is not None:
+            raise DivergenceError("DLS must not house entries in memory")
+        for bank in socket.banks:
+            if bank.spilled_count():
+                raise DivergenceError(
+                    f"bank {bank.bank_id} holds spilled frames under DLS")
+            for line in bank.all_frames():
+                if line.kind is not LineKind.DATA:
+                    raise DivergenceError(
+                        f"DLS frame for block {line.block:#x} is "
+                        f"{line.kind.name}, not DATA")
+                entry = line.entry
+                if entry is None:
+                    continue
+                if entry.block != line.block:
+                    raise DivergenceError(
+                        f"entry for block {entry.block:#x} rides the "
+                        f"line of block {line.block:#x}")
+                if entry.empty:
+                    raise DivergenceError(
+                        f"empty entry still attached to block "
+                        f"{line.block:#x}")
+        for core, hier in enumerate(socket.cores):
+            for block in hier.cached_blocks():
+                line = socket.bank_of(block).peek_data(block)
+                if line is None or line.entry is None:
+                    raise DivergenceError(
+                        f"core {core} caches block {block:#x} without "
+                        "an entry-bearing LLC line (inclusion broken)")
+
+
+def check_hybrid(spec: ModelSpec, system) -> None:
+    """Hybrid update-coherence and update-vs-invalidate attribution.
+
+    Every private S copy (and the LLC copy of an S-tracked block) must
+    hold the shadow's latest version: a write either invalidates or
+    *updates* every other copy, so no stale-but-readable copy may
+    survive a quiesced point.  Read hits never consult the shadow, so
+    this check -- not the readback -- is what detects a lost UPDATE.
+    Update pushes move data without killing copies, so they must never
+    show up in the DEV/invalidation counters.
+    """
+    for socket in each_socket(spec, system):
+        shadow = socket.shadow
+        for core, hier in enumerate(socket.cores):
+            for block in hier.cached_blocks():
+                line = hier.line_of(block)
+                if line is None or line.state is not MESI.S:
+                    continue
+                latest = shadow.latest(block)
+                if line.version != latest:
+                    raise DivergenceError(
+                        f"core {core} holds a stale S copy of block "
+                        f"{block:#x}: version {line.version}, latest "
+                        f"{latest}")
+                entry = socket._peek_entry(block)
+                if entry is None:
+                    continue
+                llc_line = socket.bank_of(block).peek_data(block)
+                if llc_line is not None and llc_line.version != latest:
+                    raise DivergenceError(
+                        f"LLC copy of shared block {block:#x} is stale: "
+                        f"version {llc_line.version}, latest {latest}")
+        stats = socket.stats
+        if stats.upgrades:
+            raise DivergenceError(
+                f"hybrid recorded {stats.upgrades} upgrade(s): an "
+                "S-state write hit must push an update, never an "
+                "upgrade-invalidate")
+
+
 def check_step(spec: ModelSpec, system) -> None:
     """The full per-step check battery: the system's own invariants plus
     the structural checks above."""
     system.check_invariants()
     check_llc_structure(spec, system)
     check_housing(spec, system)
+    if spec.config.protocol is Protocol.DLS:
+        check_dls(spec, system)
+    elif spec.config.protocol is Protocol.HYBRID:
+        check_hybrid(spec, system)
 
 
 def dev_count(spec: ModelSpec, system) -> int:

@@ -28,6 +28,13 @@ exactly one injected event.
   the target socket holds the entry: the home re-extracts the segment
   from memory. Pure latency; the run must stay correct (the graceful-
   degradation case).
+* ``DROP_UPDATE`` / ``DUP_UPDATE`` -- the hybrid model's Nth UPDATE
+  push to a sharer is lost (a stale readable S copy survives: only the
+  per-step update-coherence check can see it) or delivered twice
+  (idempotent, graceful).
+* ``LLC_CONFLICT_STORM`` -- on the Nth LLC eviction of the DLS model,
+  every other frame of the victim's set is conflict-evicted through the
+  real handler: a worst-case inclusion storm that must stay correct.
 
 :func:`corrupt_cache_files` is the storage-layer sibling: it flips bytes
 in persisted result-cache pickles so tests can assert the cache treats
@@ -43,6 +50,7 @@ from pathlib import Path
 from typing import List
 
 from repro.caches.block import LineKind
+from repro.common.config import Protocol
 from repro.common.errors import ConfigError
 
 
@@ -51,13 +59,18 @@ class FaultKind(enum.Enum):
     DUP_WB_DE = "dup-wb-de"
     DROP_GET_DE = "drop-get-de"
     FORCE_DENF_NACK = "force-denf-nack"
+    # Contender-model faults (repro.baselines.dls / .hybrid).
+    DROP_UPDATE = "drop-update"
+    DUP_UPDATE = "dup-update"
+    LLC_CONFLICT_STORM = "llc-conflict-storm"
 
 
 #: Faults whose only legal outcome is a typed detection (non-ok run).
 DETECTABLE = (FaultKind.DROP_WB_DE, FaultKind.DUP_WB_DE,
-              FaultKind.DROP_GET_DE)
+              FaultKind.DROP_GET_DE, FaultKind.DROP_UPDATE)
 #: Faults the system must absorb: the run stays correct end to end.
-GRACEFUL = (FaultKind.FORCE_DENF_NACK,)
+GRACEFUL = (FaultKind.FORCE_DENF_NACK, FaultKind.DUP_UPDATE,
+            FaultKind.LLC_CONFLICT_STORM)
 
 
 @dataclass(frozen=True)
@@ -103,6 +116,20 @@ def arm_fault(system, plan: FaultPlan) -> ArmedFault:
     armed = ArmedFault(plan)
     if plan.kind is FaultKind.FORCE_DENF_NACK:
         _arm_force_denf(system, armed)
+        return armed
+    if plan.kind in (FaultKind.DROP_UPDATE, FaultKind.DUP_UPDATE):
+        if not hasattr(system, "_deliver_update"):
+            raise ConfigError(
+                f"fault {plan.kind.value} needs the hybrid "
+                "update/invalidate model")
+        _arm_update(system, armed)
+        return armed
+    if plan.kind is FaultKind.LLC_CONFLICT_STORM:
+        if getattr(system, "PROTOCOL", None) is not Protocol.DLS:
+            raise ConfigError(
+                "fault llc-conflict-storm needs the DLS model (the "
+                "storm targets entry-bearing LLC lines)")
+        _arm_llc_storm(system, armed)
         return armed
     sockets = _zerodev_sockets(system)
     if not sockets:
@@ -157,6 +184,56 @@ def _arm_drop_get_de(socket, armed: ArmedFault) -> None:
         return original(block, bank)
 
     socket._find_entry_for_notice = patched  # noqa: SLF001
+
+
+def _arm_update(system, armed: ArmedFault) -> None:
+    """Drop or duplicate the Nth UPDATE push of the hybrid model.
+
+    A dropped update leaves a sharer holding a stale-but-readable S
+    copy -- a read *hit* would silently consume it, so only the
+    per-step update-coherence check (``check_hybrid``) can catch it: the
+    quintessential no-silent-divergence case.  A duplicated update is
+    idempotent (same version written twice) and must degrade gracefully.
+    """
+    original = system._deliver_update  # noqa: SLF001
+
+    def patched(writer, sharer, block, version, bank):
+        if not armed._due():
+            return original(writer, sharer, block, version, bank)
+        if armed.plan.kind is FaultKind.DROP_UPDATE:
+            # The UPDATE message is lost in flight: the sharer keeps its
+            # stale copy and the writer never sees the missing ack.
+            return 0
+        original(writer, sharer, block, version, bank)
+        return original(writer, sharer, block, version, bank)
+
+    system._deliver_update = patched  # noqa: SLF001
+
+
+def _arm_llc_storm(system, armed: ArmedFault) -> None:
+    """On the Nth LLC eviction, conflict-storm the victim's whole set.
+
+    DLS keeps coherence state on LLC lines, so an adversarial burst of
+    conflict evictions is its worst case: every entry-bearing line in
+    the set dies and must back-invalidate its sharers.  Each extra
+    victim goes through the real eviction handler, so the run must stay
+    correct -- the cost is inclusion invalidations, not correctness.
+    """
+    original = system._handle_llc_victim  # noqa: SLF001
+
+    def patched(bank, victim):
+        original(bank, victim)
+        if not armed._due():
+            return
+        set_idx = bank.set_of(victim.block)
+        # The MRU frame is the fill that displaced ``victim`` -- the
+        # block of the in-flight transaction (hardware holds it busy),
+        # so the storm takes every *other* frame of the set.
+        for line in list(bank.frames_in_set(set_idx))[:-1]:
+            bank.remove(line)
+            original(bank, line)
+
+    system._handle_llc_victim = patched  # noqa: SLF001
 
 
 def _arm_force_denf(system, armed: ArmedFault) -> None:

@@ -23,6 +23,7 @@ memory, for every model, on every trace.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
@@ -106,6 +107,13 @@ def model_matrix() -> List[ModelSpec]:
                   micro_config(directory=DirectoryConfig(ratio=0.25))),
         ModelSpec("secdir", micro_config(protocol=Protocol.SECDIR)),
         ModelSpec("mgd", micro_config(protocol=Protocol.MGD)),
+        # Contender models (ROADMAP): the "no directory at all" pole and
+        # the update-on-shared-write protocol.
+        ModelSpec("dls", micro_config(
+            protocol=Protocol.DLS,
+            directory=DirectoryConfig(ratio=None),
+            llc_design=LLCDesign.INCLUSIVE)),
+        ModelSpec("hybrid", micro_config(protocol=Protocol.HYBRID)),
     ]
     for policy in DirCachingPolicy:
         models.append(ModelSpec(
@@ -130,8 +138,19 @@ def model_matrix() -> List[ModelSpec]:
     return models
 
 
+@functools.lru_cache(maxsize=1)
+def _specs_by_name() -> Dict[str, ModelSpec]:
+    """Memoized name -> spec table.
+
+    Fuzz campaigns and the worker fleet resolve models per item;
+    rebuilding every config on each lookup is pure waste (the matrix is
+    immutable: ModelSpec and SystemConfig are frozen dataclasses).
+    """
+    return {m.name: m for m in model_matrix()}
+
+
 def model_by_name(name: str) -> ModelSpec:
-    by_name: Dict[str, ModelSpec] = {m.name: m for m in model_matrix()}
+    by_name = _specs_by_name()
     try:
         return by_name[name]
     except KeyError:

@@ -35,8 +35,8 @@ class TestCli:
     def test_every_experiment_registered(self):
         expected = {"fig2", "fig3", "fig4", "fig5", "fig6", "fig17",
                     "fig18", "fig19", "fig20", "fig21", "fig22", "fig23",
-                    "fig24", "fig25", "fig26", "fig27", "energy",
-                    "multisocket"}
+                    "fig24", "fig25", "fig26", "fig27", "contenders",
+                    "energy", "multisocket"}
         assert set(EXPERIMENTS) == expected
 
     def test_demo(self, capsys):
@@ -82,6 +82,29 @@ class TestCli:
     def test_verify_baseline(self, capsys):
         assert main(["verify", "--protocol", "baseline",
                      "--depth", "2"]) == 0
+
+    def test_verify_dls(self, capsys):
+        assert main(["verify", "--protocol", "dls",
+                     "--depth", "2"]) == 0
+        assert "all invariants hold" in capsys.readouterr().out
+
+    def test_verify_seed_without_samples_rejected(self, capsys):
+        # A silently ignored --seed looked like a varied run; it is now
+        # a clean one-line error, never a traceback.
+        assert main(["verify", "--seed", "3", "--depth", "2"]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "--samples" in err
+
+    def test_verify_seed_with_samples_accepted(self, capsys):
+        assert main(["verify", "--depth", "2", "--samples", "5",
+                     "--seed", "3"]) == 0
+        assert "seed 3" in capsys.readouterr().out
+
+    def test_verify_kernel_diff_accepts_seed(self, capsys):
+        # CI passes --seed with --kernel-diff; it seeds the campaign.
+        assert main(["verify", "--kernel-diff", "--seed", "7",
+                     "--budget", "2"]) == 0
+        assert "bit-identical" in capsys.readouterr().out
 
     def test_report_command(self, capsys):
         assert main(["report"]) == 0

@@ -82,6 +82,11 @@ class TestWriteReadInterleavings:
         for pattern in self.patterns():
             if protocol is Protocol.ZERODEV:
                 system = build_system(zerodev_config())
+            elif protocol is Protocol.DLS:
+                system = build_system(tiny_config(
+                    protocol=protocol,
+                    directory=DirectoryConfig(ratio=None),
+                    llc_design=LLCDesign.INCLUSIVE))
             else:
                 system = build_system(tiny_config(protocol=protocol))
             drive(system, pattern)   # shadow memory checks every read

@@ -179,6 +179,15 @@ class TestLeaseQueue:
         queue.heartbeat(item)
         assert queue.expired_leases() == []
 
+    @pytest.mark.parametrize("ttl", [0, -1.5, float("inf"),
+                                     float("nan")],
+                             ids=["zero", "negative", "inf", "nan"])
+    def test_invalid_ttl_rejected_at_construction(self, tmp_path, ttl):
+        # ttl=0 makes every live lease instantly stealable; inf/nan
+        # make dead workers' leases unreclaimable. Fail fast instead.
+        with pytest.raises(ConfigError, match="TTL"):
+            LeaseQueue(tmp_path, ttl=ttl)
+
     def test_requeue_bumps_attempt(self, tmp_path):
         queue = LeaseQueue(tmp_path)
         queue.enqueue(QueueItem("job-a", 0, "key0"))

@@ -79,6 +79,34 @@ class TestModelMatrix:
         with pytest.raises(ConfigError, match="unknown model"):
             model_by_name("zerodev-imaginary")
 
+    def test_contenders_in_matrix(self):
+        names = [spec.name for spec in model_matrix()]
+        assert "dls" in names and "hybrid" in names
+        assert len(names) == 16
+
+    def test_lookup_is_memoized(self, monkeypatch):
+        # Campaigns resolve models per item; repeated lookups must not
+        # reconstruct the matrix (every rebuild re-validates 16 configs).
+        import repro.verify.models as models
+
+        builds = {"count": 0}
+        real = models.model_matrix
+
+        def counting():
+            builds["count"] += 1
+            return real()
+
+        monkeypatch.setattr(models, "model_matrix", counting)
+        models._specs_by_name.cache_clear()
+        try:
+            first = models.model_by_name("dls")
+            for name in ("dls", "hybrid", "baseline-1x"):
+                assert models.model_by_name(name) is not None
+            assert models.model_by_name("dls") is first
+            assert builds["count"] == 1
+        finally:
+            models._specs_by_name.cache_clear()
+
     def test_two_socket_core_mapping_interleaves(self):
         spec = model_by_name("zerodev-2socket-sol1")
         assert [spec.map_core(c) for c in range(4)] == [
